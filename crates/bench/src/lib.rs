@@ -1,0 +1,42 @@
+//! Shared helpers for the `moca-bench` Criterion targets.
+//!
+//! Each reproduced figure/table has a bench target named after it
+//! (`fig1_kernel_share`, `table2_energy`, ...). Criterion measures the
+//! *simulation kernel* of the experiment at a reduced reference count so
+//! iteration times stay in the hundreds of milliseconds; regenerating the
+//! full figures is the job of the `repro` binary, not the benches.
+
+use moca_core::L2Design;
+use moca_sim::metrics::SimReport;
+use moca_sim::run_app;
+use moca_trace::AppProfile;
+
+/// References per bench iteration — small enough for Criterion, large
+/// enough to exercise steady-state behaviour (epochs, sweeps).
+pub const BENCH_REFS: usize = 120_000;
+
+/// The seed all bench iterations share (determinism keeps variance low).
+pub const BENCH_SEED: u64 = 2015;
+
+/// Runs one app/design pair at bench scale and returns the report.
+pub fn bench_run(app: &AppProfile, design: L2Design) -> SimReport {
+    run_app(app, design, BENCH_REFS, BENCH_SEED)
+}
+
+/// The app most benches use.
+pub fn bench_app() -> AppProfile {
+    AppProfile::browser()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_run_is_deterministic() {
+        let app = bench_app();
+        let a = bench_run(&app, L2Design::baseline());
+        let b = bench_run(&app, L2Design::baseline());
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,0 +1,448 @@
+//! Cache geometry and way masks.
+
+use std::fmt;
+
+/// Errors from constructing a [`CacheGeometry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A size parameter was zero.
+    Zero(&'static str),
+    /// A parameter that must be a power of two was not.
+    NotPowerOfTwo(&'static str, u64),
+    /// Capacity is not divisible into `ways * line_bytes` sets.
+    Indivisible {
+        /// Total capacity in bytes.
+        capacity: u64,
+        /// Requested associativity.
+        ways: u32,
+        /// Requested line size.
+        line_bytes: u64,
+    },
+    /// More ways than [`WayMask`] can represent (64).
+    TooManyWays(u32),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::Zero(what) => write!(f, "{what} must be non-zero"),
+            GeometryError::NotPowerOfTwo(what, v) => {
+                write!(f, "{what} must be a power of two, got {v}")
+            }
+            GeometryError::Indivisible {
+                capacity,
+                ways,
+                line_bytes,
+            } => write!(
+                f,
+                "capacity {capacity} B does not divide into {ways}-way sets of {line_bytes} B lines"
+            ),
+            GeometryError::TooManyWays(w) => {
+                write!(f, "at most 64 ways are supported, got {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Shape of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    sets: u64,
+    ways: u32,
+    line_bytes: u64,
+}
+
+impl CacheGeometry {
+    /// Builds a geometry from total capacity, associativity, and line size.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] if any parameter is zero, the line size
+    /// or resulting set count is not a power of two, the capacity is not
+    /// divisible, or `ways > 64`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use moca_cache::CacheGeometry;
+    ///
+    /// let l2 = CacheGeometry::new(2 << 20, 16, 64)?;
+    /// assert_eq!(l2.sets(), 2048);
+    /// assert_eq!(l2.capacity_bytes(), 2 << 20);
+    /// # Ok::<(), moca_cache::GeometryError>(())
+    /// ```
+    pub fn new(capacity_bytes: u64, ways: u32, line_bytes: u64) -> Result<Self, GeometryError> {
+        if capacity_bytes == 0 {
+            return Err(GeometryError::Zero("capacity"));
+        }
+        if ways == 0 {
+            return Err(GeometryError::Zero("ways"));
+        }
+        if line_bytes == 0 {
+            return Err(GeometryError::Zero("line size"));
+        }
+        if ways > 64 {
+            return Err(GeometryError::TooManyWays(ways));
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo("line size", line_bytes));
+        }
+        let row = u64::from(ways) * line_bytes;
+        if !capacity_bytes.is_multiple_of(row) {
+            return Err(GeometryError::Indivisible {
+                capacity: capacity_bytes,
+                ways,
+                line_bytes,
+            });
+        }
+        let sets = capacity_bytes / row;
+        if !sets.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo("set count", sets));
+        }
+        Ok(Self {
+            sets,
+            ways,
+            line_bytes,
+        })
+    }
+
+    /// Builds a geometry directly from a set count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CacheGeometry::new`].
+    pub fn from_sets(sets: u64, ways: u32, line_bytes: u64) -> Result<Self, GeometryError> {
+        if sets == 0 {
+            return Err(GeometryError::Zero("sets"));
+        }
+        Self::new(sets * u64::from(ways) * line_bytes, ways, line_bytes)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets * u64::from(self.ways) * self.line_bytes
+    }
+
+    /// Maps a byte address to its line address (address / line size).
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_bytes.trailing_zeros()
+    }
+
+    /// Maps a line address to its set index.
+    pub fn set_of_line(&self, line: u64) -> u64 {
+        line & (self.sets - 1)
+    }
+
+    /// Maps a line address to its tag.
+    pub fn tag_of_line(&self, line: u64) -> u64 {
+        line >> self.sets.trailing_zeros()
+    }
+
+    /// Reconstructs a line address from a tag and set index.
+    pub fn line_from_parts(&self, tag: u64, set: u64) -> u64 {
+        (tag << self.sets.trailing_zeros()) | set
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cap = self.capacity_bytes();
+        if cap >= 1 << 20 && cap.is_multiple_of(1 << 20) {
+            write!(f, "{} MiB {}-way/{} B", cap >> 20, self.ways, self.line_bytes)
+        } else {
+            write!(f, "{} KiB {}-way/{} B", cap >> 10, self.ways, self.line_bytes)
+        }
+    }
+}
+
+/// A subset of a cache's ways, used for partitioning and power-gating.
+///
+/// Bit `i` set means way `i` is a member. Supports up to 64 ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WayMask(u64);
+
+impl WayMask {
+    /// The empty mask.
+    pub const EMPTY: WayMask = WayMask(0);
+
+    /// A mask containing ways `0..ways`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways > 64`.
+    pub fn first(ways: u32) -> Self {
+        assert!(ways <= 64, "at most 64 ways");
+        if ways == 64 {
+            WayMask(u64::MAX)
+        } else {
+            WayMask((1u64 << ways) - 1)
+        }
+    }
+
+    /// A mask containing ways `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > 64`.
+    pub fn range(lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi && hi <= 64, "invalid way range {lo}..{hi}");
+        Self::first(hi).difference(Self::first(lo))
+    }
+
+    /// A mask from raw bits.
+    pub fn from_bits(bits: u64) -> Self {
+        WayMask(bits)
+    }
+
+    /// The raw bits.
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
+
+    /// Number of member ways.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Returns `true` if no ways are members.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, way: u32) -> bool {
+        way < 64 && self.0 & (1u64 << way) != 0
+    }
+
+    /// Returns the mask with `way` added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way >= 64`.
+    pub fn with(&self, way: u32) -> Self {
+        assert!(way < 64);
+        WayMask(self.0 | (1u64 << way))
+    }
+
+    /// Returns the mask with `way` removed.
+    pub fn without(&self, way: u32) -> Self {
+        if way >= 64 {
+            *self
+        } else {
+            WayMask(self.0 & !(1u64 << way))
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: WayMask) -> Self {
+        WayMask(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: WayMask) -> Self {
+        WayMask(self.0 & other.0)
+    }
+
+    /// Ways in `self` but not `other`.
+    pub fn difference(&self, other: WayMask) -> Self {
+        WayMask(self.0 & !other.0)
+    }
+
+    /// Returns `true` if the two masks share no ways.
+    pub fn is_disjoint(&self, other: WayMask) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates member way indices in increasing order.
+    pub fn iter(&self) -> WayMaskIter {
+        WayMaskIter(self.0)
+    }
+
+    /// Lowest member way, if any.
+    pub fn lowest(&self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros())
+        }
+    }
+}
+
+impl fmt::Display for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ways{{")?;
+        let mut first = true;
+        for w in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{w}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl IntoIterator for WayMask {
+    type Item = u32;
+    type IntoIter = WayMaskIter;
+
+    fn into_iter(self) -> WayMaskIter {
+        self.iter()
+    }
+}
+
+/// Iterator over member way indices of a [`WayMask`].
+#[derive(Debug, Clone)]
+pub struct WayMaskIter(u64);
+
+impl Iterator for WayMaskIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            let w = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_basic() {
+        let g = CacheGeometry::new(2 << 20, 16, 64).expect("valid");
+        assert_eq!(g.sets(), 2048);
+        assert_eq!(g.ways(), 16);
+        assert_eq!(g.line_bytes(), 64);
+        assert_eq!(g.capacity_bytes(), 2 << 20);
+        assert_eq!(g.to_string(), "2 MiB 16-way/64 B");
+    }
+
+    #[test]
+    fn geometry_address_mapping_roundtrip() {
+        let g = CacheGeometry::new(1 << 20, 8, 64).expect("valid");
+        for addr in [0u64, 64, 0xDEAD_BE40, !63] {
+            let line = g.line_of(addr);
+            let set = g.set_of_line(line);
+            let tag = g.tag_of_line(line);
+            assert_eq!(g.line_from_parts(tag, set), line);
+            assert!(set < g.sets());
+        }
+    }
+
+    #[test]
+    fn geometry_rejects_bad_params() {
+        assert!(matches!(
+            CacheGeometry::new(0, 8, 64),
+            Err(GeometryError::Zero("capacity"))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(1 << 20, 0, 64),
+            Err(GeometryError::Zero("ways"))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(1 << 20, 8, 0),
+            Err(GeometryError::Zero("line size"))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(1 << 20, 8, 48),
+            Err(GeometryError::NotPowerOfTwo("line size", 48))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(1 << 20, 65, 64),
+            Err(GeometryError::TooManyWays(65))
+        ));
+        assert!(matches!(
+            CacheGeometry::new((1 << 20) + 64, 8, 64),
+            Err(GeometryError::Indivisible { .. })
+        ));
+        // 3-way, 3*64=192 divides 192*4=768 but sets=4 ok... craft non-pow2 sets:
+        assert!(matches!(
+            CacheGeometry::new(192 * 3, 3, 64),
+            Err(GeometryError::NotPowerOfTwo("set count", 3))
+        ));
+    }
+
+    #[test]
+    fn geometry_from_sets() {
+        let g = CacheGeometry::from_sets(512, 4, 64).expect("valid");
+        assert_eq!(g.capacity_bytes(), 512 * 4 * 64);
+        assert!(CacheGeometry::from_sets(0, 4, 64).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CacheGeometry::new(1 << 20, 8, 48).unwrap_err();
+        assert!(e.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn waymask_first_and_range() {
+        assert_eq!(WayMask::first(0), WayMask::EMPTY);
+        assert_eq!(WayMask::first(4).bits(), 0b1111);
+        assert_eq!(WayMask::first(64).bits(), u64::MAX);
+        assert_eq!(WayMask::range(2, 5).bits(), 0b11100);
+        assert_eq!(WayMask::range(3, 3), WayMask::EMPTY);
+    }
+
+    #[test]
+    fn waymask_set_ops() {
+        let a = WayMask::range(0, 4);
+        let b = WayMask::range(2, 6);
+        assert_eq!(a.union(b), WayMask::range(0, 6));
+        assert_eq!(a.intersection(b), WayMask::range(2, 4));
+        assert_eq!(a.difference(b), WayMask::range(0, 2));
+        assert!(!a.is_disjoint(b));
+        assert!(a.is_disjoint(WayMask::range(4, 8)));
+    }
+
+    #[test]
+    fn waymask_with_without_contains() {
+        let m = WayMask::EMPTY.with(3).with(7);
+        assert!(m.contains(3) && m.contains(7));
+        assert!(!m.contains(4));
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.without(3).count(), 1);
+        assert_eq!(m.without(63).count(), 2);
+        assert_eq!(m.without(100), m);
+        assert!(!m.contains(100));
+    }
+
+    #[test]
+    fn waymask_iter_order() {
+        let m = WayMask::EMPTY.with(5).with(1).with(9);
+        let ways: Vec<u32> = m.iter().collect();
+        assert_eq!(ways, vec![1, 5, 9]);
+        assert_eq!(m.lowest(), Some(1));
+        assert_eq!(WayMask::EMPTY.lowest(), None);
+    }
+
+    #[test]
+    fn waymask_display() {
+        let m = WayMask::EMPTY.with(0).with(2);
+        assert_eq!(m.to_string(), "ways{0,2}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Cache statistics with per-privilege-mode resolution.
+//!
+//! Beyond the usual hit/miss counters, the stats track **cross-mode
+//! evictions** — user blocks thrown out by kernel fills and vice versa.
+//! That counter is the direct measurement of the interference the paper's
+//! partitioning removes (claim C2 in `DESIGN.md`).
+
+use moca_trace::Mode;
+
+/// Counters attributed to one requester mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeCounters {
+    /// Hits by this mode's requests.
+    pub hits: u64,
+    /// Misses by this mode's requests.
+    pub misses: u64,
+    /// Write requests (subset of hits + misses).
+    pub writes: u64,
+    /// Fills performed on behalf of this mode.
+    pub fills: u64,
+    /// Dirty victims written back due to this mode's fills.
+    pub writebacks: u64,
+}
+
+impl ModeCounters {
+    /// Total requests.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate (`0.0` when no accesses occurred).
+    pub fn miss_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+}
+
+/// Full statistics for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Per-requester-mode counters, indexed by [`Mode::index`].
+    pub by_mode: [ModeCounters; 2],
+    /// `cross_evictions[victim_mode]`: valid blocks owned by `victim_mode`
+    /// evicted by a fill from the *other* mode.
+    pub cross_evictions: [u64; 2],
+    /// `same_evictions[victim_mode]`: valid blocks evicted by a fill from
+    /// the *same* mode.
+    pub same_evictions: [u64; 2],
+    /// Blocks invalidated externally (drains, expiry), not by fills.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Fresh zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters for one requester mode.
+    pub fn mode(&self, mode: Mode) -> &ModeCounters {
+        &self.by_mode[mode.index()]
+    }
+
+    /// Mutable counters for one requester mode.
+    pub(crate) fn mode_mut(&mut self, mode: Mode) -> &mut ModeCounters {
+        &mut self.by_mode[mode.index()]
+    }
+
+    /// Total requests across both modes.
+    pub fn accesses(&self) -> u64 {
+        self.by_mode.iter().map(|m| m.accesses()).sum()
+    }
+
+    /// Total hits across both modes.
+    pub fn hits(&self) -> u64 {
+        self.by_mode.iter().map(|m| m.hits).sum()
+    }
+
+    /// Total misses across both modes.
+    pub fn misses(&self) -> u64 {
+        self.by_mode.iter().map(|m| m.misses).sum()
+    }
+
+    /// Total writebacks.
+    pub fn writebacks(&self) -> u64 {
+        self.by_mode.iter().map(|m| m.writebacks).sum()
+    }
+
+    /// Overall miss rate (`0.0` when no accesses occurred).
+    pub fn miss_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / a as f64
+        }
+    }
+
+    /// Fraction of requests issued by the kernel (`0.0` when empty).
+    pub fn kernel_share(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.mode(Mode::Kernel).accesses() as f64 / a as f64
+        }
+    }
+
+    /// Total evictions of valid blocks caused by fills.
+    pub fn evictions(&self) -> u64 {
+        self.cross_evictions.iter().sum::<u64>() + self.same_evictions.iter().sum::<u64>()
+    }
+
+    /// Fraction of fill-caused evictions where victim and requester were in
+    /// different modes — the interference metric of claim C2.
+    pub fn cross_eviction_share(&self) -> f64 {
+        let e = self.evictions();
+        if e == 0 {
+            0.0
+        } else {
+            self.cross_evictions.iter().sum::<u64>() as f64 / e as f64
+        }
+    }
+
+    /// Accumulates `other` into `self` (for aggregating epochs or apps).
+    pub fn merge(&mut self, other: &CacheStats) {
+        for i in 0..2 {
+            self.by_mode[i].hits += other.by_mode[i].hits;
+            self.by_mode[i].misses += other.by_mode[i].misses;
+            self.by_mode[i].writes += other.by_mode[i].writes;
+            self.by_mode[i].fills += other.by_mode[i].fills;
+            self.by_mode[i].writebacks += other.by_mode[i].writebacks;
+            self.cross_evictions[i] += other.cross_evictions[i];
+            self.same_evictions[i] += other.same_evictions[i];
+        }
+        self.invalidations += other.invalidations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.kernel_share(), 0.0);
+        assert_eq!(s.cross_eviction_share(), 0.0);
+        assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let mut s = CacheStats::new();
+        s.mode_mut(Mode::User).hits = 6;
+        s.mode_mut(Mode::User).misses = 2;
+        s.mode_mut(Mode::Kernel).hits = 1;
+        s.mode_mut(Mode::Kernel).misses = 1;
+        assert_eq!(s.accesses(), 10);
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+        assert!((s.kernel_share() - 0.2).abs() < 1e-12);
+        assert!((s.mode(Mode::User).miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_eviction_share() {
+        let mut s = CacheStats::new();
+        s.cross_evictions[Mode::User.index()] = 3;
+        s.same_evictions[Mode::User.index()] = 1;
+        assert_eq!(s.evictions(), 4);
+        assert!((s.cross_eviction_share() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = CacheStats::new();
+        a.mode_mut(Mode::User).hits = 1;
+        a.cross_evictions[0] = 2;
+        a.invalidations = 5;
+        let mut b = CacheStats::new();
+        b.mode_mut(Mode::User).hits = 3;
+        b.mode_mut(Mode::Kernel).writebacks = 7;
+        b.same_evictions[1] = 4;
+        b.invalidations = 1;
+        a.merge(&b);
+        assert_eq!(a.mode(Mode::User).hits, 4);
+        assert_eq!(a.mode(Mode::Kernel).writebacks, 7);
+        assert_eq!(a.cross_evictions[0], 2);
+        assert_eq!(a.same_evictions[1], 4);
+        assert_eq!(a.invalidations, 6);
+    }
+}

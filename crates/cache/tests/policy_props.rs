@@ -1,0 +1,115 @@
+//! Property-based tests of the replacement policies through the public
+//! cache API: every policy must preserve the cache's structural
+//! invariants under arbitrary access interleavings and mask shapes.
+
+use proptest::prelude::*;
+
+use moca_cache::{CacheGeometry, ReplacementPolicy, SetAssocCache, WayMask};
+use moca_trace::Mode;
+
+fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop_oneof![
+        Just(ReplacementPolicy::Lru),
+        Just(ReplacementPolicy::Fifo),
+        (1u64..1000).prop_map(|seed| ReplacementPolicy::Random { seed }),
+        Just(ReplacementPolicy::Nru),
+        Just(ReplacementPolicy::TreePlru),
+        Just(ReplacementPolicy::Srrip),
+    ]
+}
+
+/// A non-empty mask over 8 ways.
+fn arb_mask() -> impl Strategy<Value = WayMask> {
+    (1u64..256).prop_map(WayMask::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any policy and mask, an immediate re-access of the line just
+    /// accessed is a hit (no policy may evict the block it just touched
+    /// for an access to the same line).
+    #[test]
+    fn reaccess_is_always_hit(
+        policy in arb_policy(),
+        mask in arb_mask(),
+        lines in prop::collection::vec(0u64..10_000, 1..200),
+    ) {
+        let geom = CacheGeometry::new(32 * 8 * 64, 8, 64).expect("valid");
+        let mut cache = SetAssocCache::new(geom, policy);
+        for (i, line) in lines.iter().enumerate() {
+            cache.access(*line, false, Mode::User, i as u64, mask);
+            let again = cache.access(*line, false, Mode::User, i as u64 + 1, mask);
+            prop_assert!(again.hit, "immediate re-access must hit ({policy:?})");
+        }
+    }
+
+    /// A victim is never the line being inserted, is always previously
+    /// valid, and vacating it leaves the set within capacity.
+    #[test]
+    fn victims_are_sane(
+        policy in arb_policy(),
+        lines in prop::collection::vec(0u64..64, 32..300), // few sets → evictions
+    ) {
+        let geom = CacheGeometry::new(4 * 4 * 64, 4, 64).expect("valid"); // 4 sets
+        let mut cache = SetAssocCache::new(geom, policy);
+        let mask = WayMask::first(4);
+        for (i, line) in lines.iter().enumerate() {
+            let res = cache.access(*line, i % 3 == 0, Mode::User, i as u64, mask);
+            if let Some(v) = res.victim {
+                prop_assert_ne!(v.line, *line);
+                prop_assert!(v.access_count >= 1);
+                prop_assert!(v.last_touch >= v.inserted_at);
+                prop_assert!(v.last_write >= v.inserted_at);
+            }
+        }
+        prop_assert!(cache.occupancy(mask) <= 16);
+    }
+
+    /// Statistics are conserved: every miss either filled an empty way or
+    /// produced exactly one eviction.
+    #[test]
+    fn eviction_conservation(
+        policy in arb_policy(),
+        lines in prop::collection::vec(0u64..128, 1..400),
+    ) {
+        let geom = CacheGeometry::new(8 * 4 * 64, 4, 64).expect("valid"); // 8 sets
+        let mut cache = SetAssocCache::new(geom, policy);
+        let mask = WayMask::first(4);
+        let mut evictions = 0u64;
+        for (i, line) in lines.iter().enumerate() {
+            if cache.access(*line, false, Mode::User, i as u64, mask).victim.is_some() {
+                evictions += 1;
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.evictions(), evictions);
+        prop_assert_eq!(
+            stats.misses(),
+            evictions + cache.occupancy(mask),
+            "misses = evictions + resident blocks (fills into empty ways)"
+        );
+    }
+
+    /// Drain + re-access: draining a way invalidates exactly its blocks
+    /// and the drained lines subsequently miss.
+    #[test]
+    fn drain_way_consistency(
+        policy in arb_policy(),
+        lines in prop::collection::vec(0u64..256, 16..200),
+        way in 0u32..4,
+    ) {
+        let geom = CacheGeometry::new(8 * 4 * 64, 4, 64).expect("valid");
+        let mut cache = SetAssocCache::new(geom, policy);
+        let mask = WayMask::first(4);
+        for (i, line) in lines.iter().enumerate() {
+            cache.access(*line, false, Mode::User, i as u64, mask);
+        }
+        let before = cache.occupancy(mask);
+        let drained = cache.drain_way(way);
+        prop_assert_eq!(cache.occupancy(mask), before - drained.len() as u64);
+        for ev in &drained {
+            prop_assert!(cache.probe(ev.line, mask).is_none(), "drained line still probes");
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Epoch-based dynamic partition controller.
+//!
+//! Implements the paper's third technique: at every epoch boundary the
+//! controller inspects per-mode utility monitors
+//! ([`UtilityMonitor`]) and picks the
+//! *smallest* way allocation for each segment that preserves almost all of
+//! the hits the segment could get from the full cache — minimizing active
+//! capacity (and therefore leakage and refresh cost) instead of maximizing
+//! raw hit count. Changes are rate-limited to ±1 way per segment per epoch
+//! and gated by two-epoch hysteresis so the allocation does not thrash on
+//! phase noise.
+
+use moca_cache::{CacheGeometry, UtilityMonitor};
+use moca_trace::Mode;
+
+/// A point in the allocation timeline (for the adaptation figure F7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationSample {
+    /// Cycle at which the allocation took effect.
+    pub cycle: u64,
+    /// Ways assigned to the user segment.
+    pub user_ways: u32,
+    /// Ways assigned to the kernel segment.
+    pub kernel_ways: u32,
+}
+
+/// Tuning knobs of the controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Epoch length in cycles.
+    pub epoch_cycles: u64,
+    /// Minimum ways per segment.
+    pub min_ways: u32,
+    /// Physical ways available to both segments together.
+    pub max_ways: u32,
+    /// Fraction of full-cache hits a segment must keep (the size/miss
+    /// trade-off knob; the paper tolerates a small miss-rate increase).
+    pub hit_retention: f64,
+    /// Epochs a desire must persist before it is applied.
+    pub hysteresis_epochs: u32,
+    /// Minimum sampled accesses in an epoch before resizing decisions are
+    /// trusted.
+    pub min_samples: u64,
+}
+
+impl ControllerConfig {
+    /// Defaults matching `DESIGN.md` T1.
+    pub fn new(epoch_cycles: u64, min_ways: u32, max_ways: u32) -> Self {
+        Self {
+            epoch_cycles,
+            min_ways,
+            max_ways,
+            hit_retention: 0.94,
+            hysteresis_epochs: 2,
+            min_samples: 128,
+        }
+    }
+}
+
+/// The dynamic-partition decision engine.
+///
+/// The owner ([`MobileL2`](crate::mobile_l2::MobileL2)) feeds every L2
+/// request into [`DynamicController::observe`] and calls
+/// [`DynamicController::decide`] when [`DynamicController::epoch_due`]
+/// reports an epoch boundary; the returned target allocation is then
+/// applied by draining / enabling physical ways.
+#[derive(Debug, Clone)]
+pub struct DynamicController {
+    cfg: ControllerConfig,
+    next_epoch: u64,
+    monitors: [UtilityMonitor; 2],
+    /// Consecutive epochs each segment has wanted to move in the same
+    /// direction (+1 grow / -1 shrink).
+    streak: [(i32, u32); 2],
+}
+
+impl DynamicController {
+    /// Creates a controller monitoring a cache of the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has fewer sets than the 16-set sampling
+    /// period of the monitors.
+    pub fn new(cfg: ControllerConfig, geom: CacheGeometry) -> Self {
+        let sample_shift = 4.min(geom.sets().trailing_zeros());
+        Self {
+            cfg,
+            next_epoch: cfg.epoch_cycles,
+            monitors: [
+                UtilityMonitor::new(geom, sample_shift),
+                UtilityMonitor::new(geom, sample_shift),
+            ],
+            streak: [(0, 0); 2],
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Feeds one request into the mode's utility monitor.
+    pub fn observe(&mut self, mode: Mode, line: u64) {
+        self.monitors[mode.index()].observe(line);
+    }
+
+    /// Returns `true` when an epoch boundary has been reached.
+    pub fn epoch_due(&self, now: u64) -> bool {
+        now >= self.next_epoch
+    }
+
+    /// Smallest way count retaining `hit_retention` of full-assoc hits.
+    fn desired_ways(&self, mode: Mode, current: u32) -> u32 {
+        let mon = &self.monitors[mode.index()];
+        if mon.accesses() < self.cfg.min_samples {
+            return current;
+        }
+        let full = mon.hits_with_ways(self.cfg.max_ways);
+        if full == 0 {
+            return self.cfg.min_ways;
+        }
+        let target = (full as f64 * self.cfg.hit_retention).ceil() as u64;
+        for w in self.cfg.min_ways..=self.cfg.max_ways {
+            if mon.hits_with_ways(w) >= target {
+                return w;
+            }
+        }
+        self.cfg.max_ways
+    }
+
+    /// Computes the next allocation at an epoch boundary.
+    ///
+    /// `current` is the `(user_ways, kernel_ways)` allocation in force.
+    /// The result differs from `current` by at most one way per segment
+    /// and always satisfies the min/max constraints.
+    pub fn decide(&mut self, now: u64, current: (u32, u32)) -> (u32, u32) {
+        // Advance the epoch boundary past `now` (robust to long gaps).
+        while self.next_epoch <= now {
+            self.next_epoch += self.cfg.epoch_cycles;
+        }
+        let desires = [
+            self.desired_ways(Mode::User, current.0),
+            self.desired_ways(Mode::Kernel, current.1),
+        ];
+        let currents = [current.0, current.1];
+        let mut next = currents;
+
+        for i in 0..2 {
+            let dir = (desires[i] as i64 - currents[i] as i64).signum() as i32;
+            let (prev_dir, count) = self.streak[i];
+            let streak = if dir != 0 && dir == prev_dir {
+                count + 1
+            } else {
+                u32::from(dir != 0)
+            };
+            self.streak[i] = (dir, streak);
+            if dir != 0 && streak >= self.cfg.hysteresis_epochs {
+                next[i] = (currents[i] as i64 + i64::from(dir)) as u32;
+            }
+        }
+
+        // Enforce bounds and the shared physical budget; shrink requests
+        // always fit, so only growth can violate the budget.
+        for n in &mut next {
+            *n = (*n).clamp(self.cfg.min_ways, self.cfg.max_ways);
+        }
+        while next[0] + next[1] > self.cfg.max_ways {
+            // Revert the grow with the weaker claim (smaller desire gap).
+            let gap0 = desires[0] as i64 - next[0] as i64;
+            let gap1 = desires[1] as i64 - next[1] as i64;
+            if next[0] > currents[0] && (gap0 <= gap1 || next[1] <= currents[1]) {
+                next[0] -= 1;
+            } else if next[1] > currents[1] {
+                next[1] -= 1;
+            } else if next[0] > self.cfg.min_ways {
+                next[0] -= 1;
+            } else {
+                next[1] -= 1;
+            }
+        }
+
+        // New epoch: clear counters but keep tag stacks warm.
+        self.monitors[0].reset_counters();
+        self.monitors[1].reset_counters();
+        (next[0], next[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(2 << 20, 16, 64).expect("valid")
+    }
+
+    fn cfg() -> ControllerConfig {
+        let mut c = ControllerConfig::new(1000, 1, 16);
+        c.min_samples = 10;
+        c.hysteresis_epochs = 1; // immediate reaction for unit tests
+        c
+    }
+
+    /// Lines that map to sampled set 0 with distinct tags.
+    fn line(tag: u64) -> u64 {
+        tag * 2048 // 2048 sets
+    }
+
+    #[test]
+    fn epoch_scheduling() {
+        let mut c = DynamicController::new(cfg(), geom());
+        assert!(!c.epoch_due(999));
+        assert!(c.epoch_due(1000));
+        c.decide(1000, (8, 8));
+        assert!(!c.epoch_due(1500));
+        assert!(c.epoch_due(2000));
+    }
+
+    #[test]
+    fn small_working_set_shrinks() {
+        let mut c = DynamicController::new(cfg(), geom());
+        // User touches only 2 distinct lines, over and over.
+        for i in 0..2000u64 {
+            c.observe(Mode::User, line(i % 2));
+            c.observe(Mode::Kernel, line(100 + i % 2));
+        }
+        let (u, k) = c.decide(1000, (8, 8));
+        assert!(u < 8, "tiny user working set should shrink, got {u}");
+        assert!(k < 8, "tiny kernel working set should shrink, got {k}");
+    }
+
+    #[test]
+    fn large_working_set_grows() {
+        let mut c = DynamicController::new(cfg(), geom());
+        // User cycles through 12 lines in one set: needs ~12 ways for hits.
+        for i in 0..6000u64 {
+            c.observe(Mode::User, line(i % 12));
+            c.observe(Mode::Kernel, line(100));
+        }
+        let (u, _k) = c.decide(1000, (4, 4));
+        assert!(u > 4, "starved user segment should grow, got {u}");
+    }
+
+    #[test]
+    fn steps_are_bounded_to_one_way() {
+        let mut c = DynamicController::new(cfg(), geom());
+        for i in 0..6000u64 {
+            c.observe(Mode::User, line(i % 14));
+        }
+        let (u, k) = c.decide(1000, (4, 4));
+        assert!(u <= 5 && k >= 3, "±1 way per epoch, got ({u},{k})");
+    }
+
+    #[test]
+    fn hysteresis_delays_changes() {
+        let mut hcfg = cfg();
+        hcfg.hysteresis_epochs = 2;
+        let mut c = DynamicController::new(hcfg, geom());
+        for i in 0..2000u64 {
+            c.observe(Mode::User, line(i % 2));
+        }
+        // First epoch that wants to shrink: blocked by hysteresis.
+        let first = c.decide(1000, (8, 8));
+        assert_eq!(first, (8, 8));
+        for i in 0..2000u64 {
+            c.observe(Mode::User, line(i % 2));
+        }
+        // Second consecutive epoch: allowed.
+        let second = c.decide(2000, (8, 8));
+        assert!(second.0 < 8);
+    }
+
+    #[test]
+    fn respects_physical_budget() {
+        let mut c = DynamicController::new(cfg(), geom());
+        // Both modes want everything.
+        for i in 0..8000u64 {
+            c.observe(Mode::User, line(i % 16));
+            c.observe(Mode::Kernel, line(1000 + i % 16));
+        }
+        let (u, k) = c.decide(1000, (8, 8));
+        assert!(u + k <= 16);
+        assert!(u >= 1 && k >= 1);
+    }
+
+    #[test]
+    fn idle_epoch_keeps_allocation() {
+        let mut c = DynamicController::new(cfg(), geom());
+        // Fewer than min_samples observations.
+        for i in 0..5u64 {
+            c.observe(Mode::User, line(i));
+        }
+        assert_eq!(c.decide(1000, (6, 3)), (6, 3));
+    }
+
+    #[test]
+    fn config_accessor() {
+        let c = DynamicController::new(cfg(), geom());
+        assert_eq!(c.config().max_ways, 16);
+    }
+}

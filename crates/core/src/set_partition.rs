@@ -1,0 +1,258 @@
+//! Set-partitioned L2: the main design-space alternative to way
+//! partitioning.
+//!
+//! Way partitioning (the paper's choice, [`MobileL2`]) splits the
+//! associativity of one array; set partitioning gives each mode its own
+//! smaller array with *full* associativity but fewer sets. The trade-off:
+//!
+//! * way partitioning keeps all sets (fewer conflict-prone indices) but
+//!   lowers per-segment associativity, and can re-size at way
+//!   granularity at runtime;
+//! * set partitioning keeps associativity but needs power-of-two set
+//!   counts, and resizing means re-indexing the whole array (which is why
+//!   the paper's dynamic technique is way-based).
+//!
+//! [`SetPartitionedL2`] exists for the A2 ablation experiment comparing
+//! the two at equal capacity.
+//!
+//! [`MobileL2`]: crate::mobile_l2::MobileL2
+
+use moca_cache::stats::CacheStats;
+use moca_cache::{CacheGeometry, GeometryError, L2Request, SetAssocCache, WayMask};
+use moca_energy::{EnergyAccountant, EnergyBreakdown, MemoryTechnology, Technology, Time};
+use moca_trace::Mode;
+
+use crate::design::L2BaseParams;
+use crate::mobile_l2::{L2Response, TrafficCounters};
+
+/// A two-array, set-partitioned L2 (user and kernel arrays).
+#[derive(Debug, Clone)]
+pub struct SetPartitionedL2 {
+    caches: [SetAssocCache; 2],
+    masks: [WayMask; 2],
+    accts: [EnergyAccountant; 2],
+    read_latency: [u64; 2],
+    write_latency: [u64; 2],
+    traffic: TrafficCounters,
+    clock_ghz: f64,
+    last_accrual: u64,
+}
+
+impl SetPartitionedL2 {
+    /// Builds the design: `user_sets` / `kernel_sets` sets of `ways`-way
+    /// SRAM each (set counts must be powers of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if either geometry is invalid.
+    pub fn new(
+        user_sets: u64,
+        kernel_sets: u64,
+        ways: u32,
+        params: &L2BaseParams,
+    ) -> Result<Self, GeometryError> {
+        let mk = |sets: u64| -> Result<(SetAssocCache, EnergyAccountant, u64, u64), GeometryError> {
+            let geom = CacheGeometry::from_sets(sets, ways, params.line_bytes)?;
+            let bank = Technology::Sram(moca_energy::SramBank::new(
+                geom.capacity_bytes(),
+                ways,
+                params.tech,
+            ));
+            let read = bank.read_latency().cycles(params.clock_ghz).max(1);
+            let write = bank.write_latency().cycles(params.clock_ghz).max(1);
+            Ok((
+                SetAssocCache::new(geom, params.policy),
+                EnergyAccountant::new(bank),
+                read,
+                write,
+            ))
+        };
+        let (uc, ua, url, uwl) = mk(user_sets)?;
+        let (kc, ka, krl, kwl) = mk(kernel_sets)?;
+        Ok(Self {
+            caches: [uc, kc],
+            masks: [WayMask::first(ways); 2],
+            accts: [ua, ka],
+            read_latency: [url, krl],
+            write_latency: [uwl, kwl],
+            traffic: TrafficCounters::default(),
+            clock_ghz: params.clock_ghz,
+            last_accrual: 0,
+        })
+    }
+
+    /// Total capacity of both arrays in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.caches
+            .iter()
+            .map(|c| c.geometry().capacity_bytes())
+            .sum()
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        format!(
+            "SRAM-setpart-{}K/{}K",
+            self.caches[0].geometry().capacity_bytes() >> 10,
+            self.caches[1].geometry().capacity_bytes() >> 10,
+        )
+    }
+
+    fn accrue(&mut self, now: u64) {
+        let elapsed = now.saturating_sub(self.last_accrual);
+        if elapsed == 0 {
+            return;
+        }
+        let dt = Time::from_cycles(elapsed, self.clock_ghz);
+        for a in &mut self.accts {
+            a.accrue_leakage(dt, 1.0);
+        }
+        self.last_accrual = now;
+    }
+
+    /// Processes one request at cycle `now`.
+    pub fn request(&mut self, req: &L2Request, now: u64) -> L2Response {
+        self.accrue(now);
+        let i = req.mode.index();
+        let result = self.caches[i].access(req.line, req.write, req.mode, now, self.masks[i]);
+        if result.hit {
+            if req.write {
+                self.accts[i].record_writes(1);
+            } else {
+                self.accts[i].record_reads(1);
+            }
+            return L2Response {
+                hit: true,
+                latency_cycles: if req.write {
+                    self.write_latency[i]
+                } else {
+                    self.read_latency[i]
+                },
+                dram_read: false,
+            };
+        }
+        self.accts[i].record_reads(1);
+        self.accts[i].record_writes(1);
+        self.traffic.dram_reads += 1;
+        if let Some(v) = result.victim {
+            if v.dirty {
+                self.accts[i].record_reads(1);
+                self.traffic.dram_writes += 1;
+            }
+        }
+        L2Response {
+            hit: false,
+            latency_cycles: self.read_latency[i],
+            dram_read: true,
+        }
+    }
+
+    /// Accrues trailing leakage; call once after the last request.
+    pub fn finalize(&mut self, now: u64) {
+        self.accrue(now);
+    }
+
+    /// Merged statistics of both arrays.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats::new();
+        s.merge(self.caches[0].stats());
+        s.merge(self.caches[1].stats());
+        s
+    }
+
+    /// Merged energy breakdown.
+    pub fn energy(&self) -> EnergyBreakdown {
+        let mut e = EnergyBreakdown::new();
+        e.merge(self.accts[0].breakdown());
+        e.merge(self.accts[1].breakdown());
+        e
+    }
+
+    /// DRAM traffic so far.
+    pub fn traffic(&self) -> TrafficCounters {
+        self.traffic
+    }
+
+    /// Per-mode miss rate.
+    pub fn miss_rate(&self, mode: Mode) -> f64 {
+        self.caches[mode.index()].stats().miss_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moca_cache::L2Cause;
+    use moca_trace::AccessKind;
+
+    fn req(line: u64, write: bool, mode: Mode) -> L2Request {
+        L2Request {
+            line,
+            write,
+            mode,
+            cause: if write {
+                L2Cause::Writeback
+            } else {
+                L2Cause::Demand(AccessKind::Load)
+            },
+        }
+    }
+
+    fn mk() -> SetPartitionedL2 {
+        // 1 MiB user (1024 sets x 16w) + 512 KiB kernel (512 sets x 16w).
+        SetPartitionedL2::new(1024, 512, 16, &L2BaseParams::default()).expect("valid")
+    }
+
+    #[test]
+    fn capacity_and_label() {
+        let l2 = mk();
+        assert_eq!(l2.capacity_bytes(), (1 << 20) + (512 << 10));
+        assert_eq!(l2.label(), "SRAM-setpart-1024K/512K");
+    }
+
+    #[test]
+    fn arrays_are_isolated() {
+        let mut l2 = mk();
+        l2.request(&req(7, false, Mode::User), 0);
+        // Same line in kernel mode goes to the other array: a miss.
+        let r = l2.request(&req(7, false, Mode::Kernel), 10);
+        assert!(!r.hit);
+        // And both hit afterwards, independently.
+        assert!(l2.request(&req(7, false, Mode::User), 20).hit);
+        assert!(l2.request(&req(7, false, Mode::Kernel), 30).hit);
+        assert_eq!(l2.stats().cross_evictions, [0, 0]);
+    }
+
+    #[test]
+    fn accounting_identities() {
+        let mut l2 = mk();
+        for i in 0..5000u64 {
+            let mode = if i % 3 == 0 { Mode::Kernel } else { Mode::User };
+            l2.request(&req(i % 700, i % 5 == 0, mode), i * 10);
+        }
+        l2.finalize(60_000);
+        let s = l2.stats();
+        assert_eq!(s.accesses(), 5000);
+        assert_eq!(l2.traffic().dram_reads, s.misses());
+        assert!(l2.energy().total().nj() > 0.0);
+        assert!(l2.energy().leakage.nj() > 0.0);
+        assert!(l2.miss_rate(Mode::User) > 0.0);
+        assert!(l2.miss_rate(Mode::Kernel) > 0.0);
+    }
+
+    #[test]
+    fn bad_geometry_is_rejected() {
+        // 3 sets is not a power of two.
+        assert!(SetPartitionedL2::new(3, 512, 16, &L2BaseParams::default()).is_err());
+    }
+
+    #[test]
+    fn leakage_tracks_both_arrays() {
+        let mut l2 = mk();
+        l2.request(&req(1, false, Mode::User), 0);
+        l2.finalize(1_000_000);
+        let e = l2.energy();
+        // 1.5 MiB SRAM at ~80 mW/MiB for 1 ms ≈ 120 uJ; sanity band.
+        assert!(e.leakage.joules() > 1e-8 && e.leakage.joules() < 1e-2);
+    }
+}

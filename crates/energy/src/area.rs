@@ -1,0 +1,77 @@
+//! Silicon-area model.
+//!
+//! The paper's STT-RAM argument is not only about energy: an MTJ cell is
+//! roughly a third of a 6T SRAM cell, so the proposed designs also shrink
+//! the L2's die area (or, equivalently, triple its capacity per mm²).
+//! This module provides a simple cell-count area model used by the area
+//! extension experiment (A1).
+
+use crate::accounting::Technology;
+use crate::sttram::CELL_AREA_RATIO;
+
+/// Area of a 6T SRAM bitcell at the 45 nm anchor node, in µm².
+pub const SRAM_CELL_UM2: f64 = 0.40;
+
+/// Periphery (decoders, sense amps, wiring) overhead as a fraction of the
+/// cell-array area.
+pub const PERIPHERY_OVERHEAD: f64 = 0.35;
+
+/// Area in mm² of a memory array of `capacity_bytes` using cells of
+/// `cell_um2` µm², including periphery overhead.
+///
+/// # Panics
+///
+/// Panics if `cell_um2` is not positive.
+pub fn array_area_mm2(capacity_bytes: u64, cell_um2: f64) -> f64 {
+    assert!(cell_um2 > 0.0, "cell area must be positive");
+    let bits = capacity_bytes as f64 * 8.0;
+    bits * cell_um2 * (1.0 + PERIPHERY_OVERHEAD) / 1e6
+}
+
+/// Area in mm² of a [`Technology`] bank (SRAM or STT-RAM cells).
+pub fn bank_area_mm2(bank: &Technology) -> f64 {
+    use crate::tech::MemoryTechnology;
+    let cell = match bank {
+        Technology::Sram(_) => SRAM_CELL_UM2,
+        Technology::SttRam(_) => SRAM_CELL_UM2 * CELL_AREA_RATIO,
+    };
+    array_area_mm2(bank.capacity_bytes(), cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retention::RetentionClass;
+
+    #[test]
+    fn two_mib_sram_is_a_few_square_millimetres() {
+        let a = array_area_mm2(2 << 20, SRAM_CELL_UM2);
+        // 16.8 Mbit × 0.4 µm² × 1.35 ≈ 9.1 mm².
+        assert!((a - 9.06).abs() < 0.1, "area {a}");
+    }
+
+    #[test]
+    fn sttram_is_about_a_third_of_sram() {
+        let sram = bank_area_mm2(&Technology::sram(2 << 20, 16));
+        let stt = bank_area_mm2(&Technology::sttram(
+            2 << 20,
+            16,
+            RetentionClass::TenMillis,
+        ));
+        let ratio = stt / sram;
+        assert!((ratio - CELL_AREA_RATIO).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn area_scales_linearly_with_capacity() {
+        let one = array_area_mm2(1 << 20, SRAM_CELL_UM2);
+        let four = array_area_mm2(4 << 20, SRAM_CELL_UM2);
+        assert!((four / one - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_area_panics() {
+        array_area_mm2(1 << 20, 0.0);
+    }
+}

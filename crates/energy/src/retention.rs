@@ -1,0 +1,140 @@
+//! STT-RAM retention classes.
+//!
+//! An MTJ cell retains its state for a time exponential in its thermal
+//! stability factor Δ: `t_ret = τ₀ · e^Δ` with `τ₀ ≈ 1 ns`. Lowering Δ
+//! (by shrinking the free layer's planar area) makes writes faster and
+//! cheaper at the cost of volatility — the knob the paper's
+//! multi-retention design turns (claims C5/C8).
+
+use crate::units::Time;
+
+/// Attempt period τ₀ of the MTJ thermal activation model, in nanoseconds.
+pub const TAU0_NS: f64 = 1.0;
+
+/// Standard retention classes from the multi-retention STT-RAM
+/// literature, plus [`RetentionClass::Custom`] for sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetentionClass {
+    /// ≈10 years: the "non-volatile" design point (Δ ≈ 40).
+    TenYears,
+    /// 10 seconds (Δ ≈ 23).
+    TenSeconds,
+    /// 1 second (Δ ≈ 20.7).
+    OneSecond,
+    /// 100 milliseconds (Δ ≈ 18.4).
+    HundredMillis,
+    /// 10 milliseconds (Δ ≈ 16.1).
+    TenMillis,
+    /// Arbitrary retention time for design-space sweeps.
+    Custom(Time),
+}
+
+impl RetentionClass {
+    /// The classes used in the paper-style retention sweep, longest first.
+    pub const SWEEP: [RetentionClass; 5] = [
+        RetentionClass::TenYears,
+        RetentionClass::TenSeconds,
+        RetentionClass::OneSecond,
+        RetentionClass::HundredMillis,
+        RetentionClass::TenMillis,
+    ];
+
+    /// Retention duration.
+    pub fn duration(self) -> Time {
+        match self {
+            RetentionClass::TenYears => Time::from_secs(10.0 * 365.25 * 86_400.0),
+            RetentionClass::TenSeconds => Time::from_secs(10.0),
+            RetentionClass::OneSecond => Time::from_secs(1.0),
+            RetentionClass::HundredMillis => Time::from_ms(100.0),
+            RetentionClass::TenMillis => Time::from_ms(10.0),
+            RetentionClass::Custom(t) => t,
+        }
+    }
+
+    /// Thermal stability factor Δ = ln(t_ret / τ₀).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive custom retention times.
+    pub fn delta(self) -> f64 {
+        let t_ns = self.duration().ns();
+        assert!(t_ns > 0.0, "retention time must be positive");
+        (t_ns / TAU0_NS).ln()
+    }
+
+    /// Returns `true` if blocks can expire on realistic timescales and the
+    /// cache must handle expiry (refresh or invalidate).
+    ///
+    /// The 10-year class is treated as effectively non-volatile.
+    pub fn is_volatile(self) -> bool {
+        self.duration().secs() < 3600.0
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> String {
+        match self {
+            RetentionClass::TenYears => "10yr".to_string(),
+            RetentionClass::TenSeconds => "10s".to_string(),
+            RetentionClass::OneSecond => "1s".to_string(),
+            RetentionClass::HundredMillis => "100ms".to_string(),
+            RetentionClass::TenMillis => "10ms".to_string(),
+            RetentionClass::Custom(t) => format!("{t}"),
+        }
+    }
+}
+
+impl std::fmt::Display for RetentionClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_match_literature() {
+        // Published multi-retention designs quote Δ≈40 for 10 years and
+        // Δ in the high teens for ~10 ms.
+        assert!((RetentionClass::TenYears.delta() - 40.3).abs() < 0.5);
+        assert!((RetentionClass::OneSecond.delta() - 20.7).abs() < 0.2);
+        assert!((RetentionClass::TenMillis.delta() - 16.1).abs() < 0.2);
+    }
+
+    #[test]
+    fn delta_monotone_in_retention() {
+        let mut prev = f64::INFINITY;
+        for rc in RetentionClass::SWEEP {
+            let d = rc.delta();
+            assert!(d < prev, "sweep must be longest-first");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn volatility_classification() {
+        assert!(!RetentionClass::TenYears.is_volatile());
+        assert!(RetentionClass::TenSeconds.is_volatile());
+        assert!(RetentionClass::TenMillis.is_volatile());
+        assert!(!RetentionClass::Custom(Time::from_secs(7200.0)).is_volatile());
+    }
+
+    #[test]
+    fn custom_duration_roundtrip() {
+        let t = Time::from_ms(42.0);
+        assert_eq!(RetentionClass::Custom(t).duration(), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_custom_delta_panics() {
+        RetentionClass::Custom(Time::ZERO).delta();
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RetentionClass::TenYears.label(), "10yr");
+        assert_eq!(RetentionClass::TenMillis.to_string(), "10ms");
+    }
+}

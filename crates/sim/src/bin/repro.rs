@@ -1,0 +1,88 @@
+//! `repro` — regenerates every figure and table of the reproduced
+//! evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [F1|F2|F3|F4|F5|T2|F6|F7|F8|A1..A7 ...]
+//! ```
+//!
+//! With no experiment ids, runs the whole suite (this is how
+//! `EXPERIMENTS.md` is produced). `--quick` uses short traces (CI scale);
+//! the default is the full scale used in `EXPERIMENTS.md`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use moca_sim::experiments::{self, ExperimentResult};
+use moca_sim::workloads::Scale;
+use moca_sim::SystemConfig;
+
+fn print_header(scale: Scale) {
+    println!("# moca reproduction run");
+    println!();
+    println!(
+        "scale: {:?} ({} refs/app; sweeps {} refs/app), seed {:#x}",
+        scale,
+        scale.refs(),
+        scale.sweep_refs(),
+        moca_sim::EXPERIMENT_SEED
+    );
+    println!();
+    println!("## T1 — system configuration");
+    println!();
+    println!("{}", SystemConfig::default().describe());
+    println!(
+        "L2 baseline: 2 MiB, 16-way, 64 B lines, SRAM, LRU, write-back\n\
+         static design: 6 user + 4 kernel ways, STT-RAM 1s (user) / 10ms (kernel)\n\
+         dynamic design: 16 ways max, STT-RAM 100ms/10ms, 500k-cycle epochs"
+    );
+    println!();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+
+    print_header(scale);
+
+    let start = Instant::now();
+    let results: Vec<ExperimentResult> = if ids.is_empty() {
+        experiments::all(scale)
+    } else {
+        let mut out = Vec::new();
+        for id in &ids {
+            match experiments::by_id(id, scale) {
+                Some(r) => out.push(r),
+                None => {
+                    eprintln!("unknown experiment id: {id}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        out
+    };
+
+    let mut failed = 0usize;
+    for r in &results {
+        print!("{}", r.render());
+        if !r.passed() {
+            failed += 1;
+        }
+    }
+
+    println!("---");
+    println!(
+        "{} experiments, {} failed claim set(s), wall time {:.1}s",
+        results.len(),
+        failed,
+        start.elapsed().as_secs_f64()
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,91 @@
+//! `tracegen` — generate workload traces to files.
+//!
+//! Writes the deterministic memory-reference stream of one suite app (or
+//! a mixed session) in the binary or text format of
+//! [`moca_trace::io`], so traces can be archived, diffed, or fed to other
+//! tools.
+//!
+//! ```text
+//! tracegen <app|mixed> <refs> <out-file> [--text] [--seed N]
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use moca_trace::io::{write_binary, write_text};
+use moca_trace::{AppProfile, MemoryAccess, PhasedWorkload, TraceGenerator};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tracegen <app|mixed> <refs> <out-file> [--text] [--seed N]");
+    eprintln!("apps: {}", AppProfile::suite().iter().map(|p| p.name).collect::<Vec<_>>().join(", "));
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--seed" {
+            skip_next = true; // the seed value is consumed below
+        } else if !a.starts_with("--") {
+            positional.push(a);
+        }
+    }
+    if positional.len() != 3 {
+        return usage();
+    }
+    let text = args.iter().any(|a| a == "--text");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    let name = positional[0];
+    let Ok(refs) = positional[1].parse::<usize>() else {
+        return usage();
+    };
+    let path = positional[2];
+
+    let trace: Box<dyn Iterator<Item = MemoryAccess>> = if name == "mixed" {
+        let per_app = (refs / 10).max(1) as u64;
+        Box::new(PhasedWorkload::mixed_session(per_app, seed).cycle().take(refs))
+    } else {
+        let Some(profile) = AppProfile::by_name(name) else {
+            eprintln!("unknown app '{name}'");
+            return usage();
+        };
+        Box::new(TraceGenerator::new(&profile, seed).take(refs))
+    };
+
+    let file = match File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = BufWriter::new(file);
+    let result = if text {
+        write_text(&mut writer, trace)
+    } else {
+        write_binary(&mut writer, trace)
+    };
+    match result {
+        Ok(()) => {
+            eprintln!("wrote {refs} references of '{name}' (seed {seed}) to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

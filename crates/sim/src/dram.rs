@@ -1,0 +1,274 @@
+//! DRAM backend models.
+//!
+//! The headline experiments use a flat-latency DRAM (every access costs
+//! [`SystemConfig::dram_latency_cycles`]); this module adds an optional
+//! LPDDR-style **row-buffer** model: each bank keeps its last-activated
+//! row open, row hits are fast, row conflicts pay precharge + activate.
+//! Streaming tails enjoy high row locality, pointer chases do not — so
+//! the refined model slightly rewards the sequential traffic that mobile
+//! workloads are rich in.
+//!
+//! [`SystemConfig::dram_latency_cycles`]: crate::config::SystemConfig::dram_latency_cycles
+
+use moca_energy::Energy;
+
+/// Which DRAM timing model the system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DramModel {
+    /// Fixed latency and energy per access (the default; what the
+    /// headline experiments use).
+    #[default]
+    Flat,
+    /// Per-bank open-row tracking with distinct row-hit / row-miss /
+    /// row-conflict timings.
+    RowBuffer,
+}
+
+/// Timing/energy parameters of the row-buffer model (LPDDR2-era values
+/// at a 1 GHz core clock).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowBufferParams {
+    /// Number of banks.
+    pub banks: u32,
+    /// Row size in bytes (the interleaving granularity).
+    pub row_bytes: u64,
+    /// Latency of a row-buffer hit, in core cycles.
+    pub hit_cycles: u64,
+    /// Latency when the bank was idle (activate + access).
+    pub empty_cycles: u64,
+    /// Latency when another row was open (precharge + activate + access).
+    pub conflict_cycles: u64,
+    /// Energy of a row activation.
+    pub activate_energy: Energy,
+    /// Energy of transferring one line.
+    pub transfer_energy: Energy,
+}
+
+impl Default for RowBufferParams {
+    fn default() -> Self {
+        Self {
+            banks: 8,
+            row_bytes: 2048,
+            hit_cycles: 60,
+            empty_cycles: 110,
+            conflict_cycles: 160,
+            activate_energy: Energy::from_nj(12.0),
+            transfer_energy: Energy::from_nj(8.0),
+        }
+    }
+}
+
+impl RowBufferParams {
+    fn validate(&self) {
+        assert!(self.banks > 0, "at least one bank");
+        assert!(
+            self.row_bytes.is_power_of_two(),
+            "row size must be a power of two"
+        );
+        assert!(self.conflict_cycles >= self.empty_cycles);
+        assert!(self.empty_cycles >= self.hit_cycles);
+    }
+}
+
+/// Outcome classification of one DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank had no open row.
+    Empty,
+    /// Another row was open and had to be closed first.
+    Conflict,
+}
+
+/// A row-buffer DRAM: per-bank open-row state plus counters.
+#[derive(Debug, Clone)]
+pub struct RowBufferDram {
+    params: RowBufferParams,
+    /// Open row per bank (`None` = precharged/idle).
+    open_rows: Vec<Option<u64>>,
+    hits: u64,
+    empties: u64,
+    conflicts: u64,
+    energy: Energy,
+}
+
+impl RowBufferDram {
+    /// Creates the DRAM with all banks precharged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (see
+    /// [`RowBufferParams`] field docs).
+    pub fn new(params: RowBufferParams) -> Self {
+        params.validate();
+        Self {
+            open_rows: vec![None; params.banks as usize],
+            params,
+            hits: 0,
+            empties: 0,
+            conflicts: 0,
+            energy: Energy::ZERO,
+        }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &RowBufferParams {
+        &self.params
+    }
+
+    fn locate(&self, line_addr: u64, line_bytes: u64) -> (usize, u64) {
+        let byte_addr = line_addr * line_bytes;
+        let row = byte_addr / self.params.row_bytes;
+        let bank = (row % u64::from(self.params.banks)) as usize;
+        (bank, row)
+    }
+
+    /// Performs one line access; returns `(outcome, latency_cycles)` and
+    /// accrues energy.
+    pub fn access(&mut self, line_addr: u64, line_bytes: u64) -> (RowOutcome, u64) {
+        let (bank, row) = self.locate(line_addr, line_bytes);
+        let (outcome, latency) = match self.open_rows[bank] {
+            Some(open) if open == row => (RowOutcome::Hit, self.params.hit_cycles),
+            Some(_) => (RowOutcome::Conflict, self.params.conflict_cycles),
+            None => (RowOutcome::Empty, self.params.empty_cycles),
+        };
+        self.open_rows[bank] = Some(row);
+        self.energy += self.params.transfer_energy;
+        if outcome != RowOutcome::Hit {
+            self.energy += self.params.activate_energy;
+        }
+        match outcome {
+            RowOutcome::Hit => self.hits += 1,
+            RowOutcome::Empty => self.empties += 1,
+            RowOutcome::Conflict => self.conflicts += 1,
+        }
+        (outcome, latency)
+    }
+
+    /// Total accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.empties + self.conflicts
+    }
+
+    /// Row-buffer hit rate (`0.0` when idle).
+    pub fn row_hit_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.hits as f64 / a as f64
+        }
+    }
+
+    /// Accrued DRAM energy.
+    pub fn energy(&self) -> Energy {
+        self.energy
+    }
+
+    /// `(hits, empties, conflicts)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.empties, self.conflicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> RowBufferDram {
+        RowBufferDram::new(RowBufferParams::default())
+    }
+
+    #[test]
+    fn first_access_is_empty_then_hits() {
+        let mut d = dram();
+        let (o1, l1) = d.access(0, 64);
+        assert_eq!(o1, RowOutcome::Empty);
+        assert_eq!(l1, d.params().empty_cycles);
+        // Same row (lines 0..32 share a 2 KiB row).
+        let (o2, l2) = d.access(1, 64);
+        assert_eq!(o2, RowOutcome::Hit);
+        assert_eq!(l2, d.params().hit_cycles);
+        assert!((d.row_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicting_rows_pay_precharge() {
+        let mut d = dram();
+        d.access(0, 64);
+        // A row that maps to the same bank: row + banks (8 rows later).
+        let conflict_line = (8 * 2048) / 64;
+        let (o, l) = d.access(conflict_line, 64);
+        assert_eq!(o, RowOutcome::Conflict);
+        assert_eq!(l, d.params().conflict_cycles);
+    }
+
+    #[test]
+    fn different_banks_do_not_conflict() {
+        let mut d = dram();
+        d.access(0, 64); // row 0 → bank 0
+        let next_bank_line = 2048 / 64; // row 1 → bank 1
+        let (o, _) = d.access(next_bank_line, 64);
+        assert_eq!(o, RowOutcome::Empty);
+    }
+
+    #[test]
+    fn sequential_stream_has_high_row_hit_rate() {
+        let mut d = dram();
+        for line in 0..4096u64 {
+            d.access(line, 64);
+        }
+        // 32 lines per row → 31/32 hits.
+        assert!(d.row_hit_rate() > 0.95, "hit rate {}", d.row_hit_rate());
+    }
+
+    #[test]
+    fn random_stream_has_low_row_hit_rate() {
+        let mut d = dram();
+        let mut x = 12345u64;
+        for _ in 0..4096 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            d.access(x % 1_000_000, 64);
+        }
+        assert!(d.row_hit_rate() < 0.2, "hit rate {}", d.row_hit_rate());
+    }
+
+    #[test]
+    fn energy_charges_activates_only_on_misses() {
+        let mut d = dram();
+        d.access(0, 64); // empty: activate + transfer
+        d.access(1, 64); // hit: transfer only
+        let p = *d.params();
+        let expected = p.activate_energy + p.transfer_energy * 2;
+        assert!((d.energy().pj() - expected.pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_add_up() {
+        let mut d = dram();
+        for line in [0u64, 1, 256, 0, 512] {
+            d.access(line, 64);
+        }
+        let (h, e, c) = d.counters();
+        assert_eq!(h + e + c, d.accesses());
+        assert_eq!(d.accesses(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_row_size_panics() {
+        let p = RowBufferParams {
+            row_bytes: 1000,
+            ..RowBufferParams::default()
+        };
+        RowBufferDram::new(p);
+    }
+
+    #[test]
+    fn default_model_is_flat() {
+        assert_eq!(DramModel::default(), DramModel::Flat);
+    }
+}

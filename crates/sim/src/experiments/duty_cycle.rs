@@ -1,0 +1,130 @@
+//! A4 (extension) — energy savings versus usage duty cycle.
+//!
+//! Phones are idle most of the time (screen off, waiting for input); a
+//! cache keeps leaking through all of it. This experiment interleaves
+//! active bursts with idle gaps at several duty cycles and measures the
+//! designs' savings: the lower the duty cycle, the more
+//! leakage-dominated the baseline becomes and the larger the STT-RAM
+//! designs' advantage — the usage regime the paper targets.
+
+use moca_core::L2Design;
+use moca_trace::{AppProfile, TraceGenerator};
+
+use crate::config::SystemConfig;
+use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::system::System;
+use crate::table::{pct, Table};
+use crate::workloads::{Scale, EXPERIMENT_SEED};
+
+/// App used for the duty-cycle study.
+pub const APP: &str = "social";
+
+/// Active references per burst before each idle gap.
+const BURST_REFS: usize = 100_000;
+
+/// Runs `refs` references at the given duty cycle (fraction of wall time
+/// spent active).
+fn run_at_duty(design: L2Design, refs: usize, duty: f64) -> crate::metrics::SimReport {
+    let app = AppProfile::by_name(APP).expect("known app");
+    let mut sys =
+        System::new(app.name, design, SystemConfig::default()).expect("valid design");
+    let mut gen = TraceGenerator::new(&app, EXPERIMENT_SEED);
+    let mut done = 0usize;
+    while done < refs {
+        let burst = BURST_REFS.min(refs - done);
+        let start = sys.cycles();
+        for _ in 0..burst {
+            let a = gen.next().expect("generator is infinite");
+            sys.step(&a);
+        }
+        done += burst;
+        // Pad the burst's active time with idle so active/total = duty.
+        let active = sys.cycles() - start;
+        if duty < 1.0 {
+            let idle = (active as f64 * (1.0 - duty) / duty) as u64;
+            sys.idle(idle);
+        }
+    }
+    sys.finish()
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let refs = scale.sweep_refs();
+    let duties = [1.0, 0.5, 0.25, 0.10];
+    let mut table = Table::new(vec![
+        "duty cycle",
+        "baseline leak share",
+        "static MR saving",
+        "dynamic saving",
+    ]);
+    let mut static_savings = Vec::new();
+    for duty in duties {
+        let base = run_at_duty(L2Design::baseline(), refs, duty);
+        let stat = run_at_duty(L2Design::static_default(), refs, duty);
+        let dynamic = run_at_duty(L2Design::dynamic_default(), refs, duty);
+        let s_saving = 1.0 - stat.energy_ratio_vs(&base);
+        let d_saving = 1.0 - dynamic.energy_ratio_vs(&base);
+        static_savings.push(s_saving);
+        table.row(vec![
+            pct(duty),
+            pct(base.l2_energy.leakage_fraction()),
+            pct(s_saving),
+            pct(d_saving),
+        ]);
+    }
+
+    let first = static_savings[0];
+    let last = *static_savings.last().expect("non-empty");
+    let monotone = static_savings.windows(2).all(|w| w[1] >= w[0] - 0.01);
+    let claims = vec![
+        ClaimCheck {
+            claim: "A4",
+            target: "STT savings grow as the duty cycle drops (idle leakage dominates)".into(),
+            measured: format!(
+                "static saving {} at 100% duty -> {} at 10% duty",
+                pct(first),
+                pct(last)
+            ),
+            pass: last > first && monotone,
+        },
+        ClaimCheck {
+            claim: "A4",
+            target: "at 10% duty the static design saves >= 90%".into(),
+            measured: pct(last),
+            pass: last >= 0.90,
+        },
+    ];
+    ExperimentResult {
+        id: "A4",
+        title: "Energy savings vs usage duty cycle (extension)",
+        table: table.render(),
+        summary: format!(
+            "As idle time grows, the SRAM baseline's energy becomes almost pure \
+             leakage, so the STT-RAM designs' saving climbs from {} (always active) \
+             to {} at a phone-like 10% duty cycle — the reproduction's headline \
+             numbers are, if anything, conservative for real usage.",
+            pct(first),
+            pct(last)
+        ),
+        claims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_grow_with_idleness() {
+        let r = run(Scale::Quick);
+        assert!(r.passed(), "claims failed:\n{}", r.render());
+        assert!(r.table.contains("10.0%"));
+    }
+
+    #[test]
+    fn duty_table_has_all_rows() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.table.lines().count(), 2 + 4, "header + rule + 4 duty rows");
+    }
+}

@@ -1,0 +1,104 @@
+//! The shared design-matrix runs: every app on every headline design.
+//!
+//! Both T2 (energy) and F6 (performance) read from one [`DesignMatrix`] so
+//! the two tables always describe the same simulations.
+
+use moca_core::L2Design;
+use moca_trace::AppProfile;
+
+use crate::metrics::SimReport;
+use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
+
+/// The four headline designs of the reproduced evaluation, in table
+/// order: baseline, static SRAM partition, static multi-retention
+/// STT-RAM, dynamic STT-RAM.
+pub fn headline_designs() -> Vec<L2Design> {
+    vec![
+        L2Design::baseline(),
+        L2Design::StaticSram {
+            user_ways: 6,
+            kernel_ways: 4,
+        },
+        L2Design::static_default(),
+        L2Design::dynamic_default(),
+    ]
+}
+
+/// All apps × all headline designs.
+#[derive(Debug, Clone)]
+pub struct DesignMatrix {
+    /// The designs, in column order (`designs[0]` is the baseline).
+    pub designs: Vec<L2Design>,
+    /// `rows[app][design]` simulation reports.
+    pub rows: Vec<Vec<SimReport>>,
+}
+
+impl DesignMatrix {
+    /// The baseline report for app row `i`.
+    pub fn baseline(&self, i: usize) -> &SimReport {
+        &self.rows[i][0]
+    }
+
+    /// Iterator of app names (row order).
+    pub fn app_names(&self) -> impl Iterator<Item = &str> {
+        self.rows.iter().map(|r| r[0].app.as_str())
+    }
+
+    /// Mean over apps of `f(report, baseline)` for design column `d`.
+    pub fn mean_over_apps<F>(&self, d: usize, f: F) -> f64
+    where
+        F: Fn(&SimReport, &SimReport) -> f64,
+    {
+        let n = self.rows.len() as f64;
+        self.rows.iter().map(|r| f(&r[d], &r[0])).sum::<f64>() / n
+    }
+}
+
+/// Runs the matrix at the given scale.
+pub fn run_matrix(scale: Scale) -> DesignMatrix {
+    let designs = headline_designs();
+    let rows = AppProfile::suite()
+        .iter()
+        .map(|app| {
+            designs
+                .iter()
+                .map(|d| run_app(app, *d, scale.refs(), EXPERIMENT_SEED))
+                .collect()
+        })
+        .collect();
+    DesignMatrix { designs, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_designs_start_with_baseline() {
+        let d = headline_designs();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d[0], L2Design::baseline());
+    }
+
+    #[test]
+    fn matrix_shape_is_apps_by_designs() {
+        // A tiny matrix (not Quick scale) to keep the test fast.
+        let designs = headline_designs();
+        let rows: Vec<Vec<SimReport>> = AppProfile::suite()[..2]
+            .iter()
+            .map(|app| {
+                designs
+                    .iter()
+                    .map(|d| run_app(app, *d, 30_000, 1))
+                    .collect()
+            })
+            .collect();
+        let m = DesignMatrix { designs, rows };
+        assert_eq!(m.rows.len(), 2);
+        assert_eq!(m.rows[0].len(), 4);
+        assert_eq!(m.baseline(0).design, L2Design::baseline().label());
+        let mean = m.mean_over_apps(1, |r, b| r.slowdown_vs(b));
+        assert!(mean > 0.5 && mean < 2.0);
+        assert_eq!(m.app_names().count(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! The reproduced evaluation: one module per figure/table of `DESIGN.md`'s
+//! experiment index.
+//!
+//! Every experiment returns an [`ExperimentResult`] containing the
+//! rendered data table, a prose summary, and machine-checkable
+//! [`ClaimCheck`]s against the paper's abstract-level claims (C1–C8 in
+//! `DESIGN.md`). The `repro` binary runs them all and regenerates the
+//! data behind `EXPERIMENTS.md`.
+
+pub mod adaptation;
+pub mod area;
+pub mod behavior;
+pub mod duty_cycle;
+pub mod energy_table;
+pub mod hybrid_study;
+pub mod interference;
+pub mod kernel_share;
+pub mod matrix;
+pub mod multitask;
+pub mod partition_style;
+pub mod performance;
+pub mod prefetch_study;
+pub mod retention_sweep;
+pub mod sensitivity;
+pub mod static_sweep;
+pub mod temperature;
+
+use crate::workloads::Scale;
+
+/// A paper claim checked against measured data.
+#[derive(Debug, Clone)]
+pub struct ClaimCheck {
+    /// Claim id from `DESIGN.md` (e.g. `"C1"`).
+    pub claim: &'static str,
+    /// What the paper states / the reproduction targets.
+    pub target: String,
+    /// What this run measured.
+    pub measured: String,
+    /// Whether the measurement satisfies the target band.
+    pub pass: bool,
+}
+
+impl std::fmt::Display for ClaimCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {}: target {}, measured {}",
+            if self.pass { "PASS" } else { "FAIL" },
+            self.claim,
+            self.target,
+            self.measured
+        )
+    }
+}
+
+/// Output of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id from the `DESIGN.md` index (e.g. `"F1"`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Rendered data table(s).
+    pub table: String,
+    /// One-paragraph interpretation.
+    pub summary: String,
+    /// Claim checks.
+    pub claims: Vec<ClaimCheck>,
+}
+
+impl ExperimentResult {
+    /// `true` when every claim check passed.
+    pub fn passed(&self) -> bool {
+        self.claims.iter().all(|c| c.pass)
+    }
+
+    /// Renders the full experiment block (title, table, summary, claims).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "## {} — {}\n\n{}\n{}\n",
+            self.id, self.title, self.table, self.summary
+        );
+        for c in &self.claims {
+            out.push_str(&format!("{c}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Runs the complete experiment suite.
+///
+/// The design-matrix runs (T2/F6 share them) are executed once and
+/// reused. This is the entry point of the `repro` binary.
+pub fn all(scale: Scale) -> Vec<ExperimentResult> {
+    let m = matrix::run_matrix(scale);
+    vec![
+        kernel_share::run(scale),
+        interference::run(scale),
+        static_sweep::run(scale),
+        behavior::run(scale),
+        retention_sweep::run(scale),
+        energy_table::from_matrix(&m),
+        performance::from_matrix(&m),
+        adaptation::run(scale),
+        sensitivity::run(scale),
+        area::run(scale),
+        partition_style::run(scale),
+        hybrid_study::run(scale),
+        duty_cycle::run(scale),
+        prefetch_study::run_experiment(scale),
+        temperature::run(scale),
+        multitask::run(scale),
+    ]
+}
+
+/// Looks up and runs a single experiment by id (`"F1"`, `"T2"`, ...).
+///
+/// Returns `None` for an unknown id.
+pub fn by_id(id: &str, scale: Scale) -> Option<ExperimentResult> {
+    match id.to_ascii_uppercase().as_str() {
+        "F1" => Some(kernel_share::run(scale)),
+        "F2" => Some(interference::run(scale)),
+        "F3" => Some(static_sweep::run(scale)),
+        "F4" => Some(behavior::run(scale)),
+        "F5" => Some(retention_sweep::run(scale)),
+        "T2" => Some(energy_table::from_matrix(&matrix::run_matrix(scale))),
+        "F6" => Some(performance::from_matrix(&matrix::run_matrix(scale))),
+        "F7" => Some(adaptation::run(scale)),
+        "F8" => Some(sensitivity::run(scale)),
+        "A1" => Some(area::run(scale)),
+        "A2" => Some(partition_style::run(scale)),
+        "A3" => Some(hybrid_study::run(scale)),
+        "A4" => Some(duty_cycle::run(scale)),
+        "A5" => Some(prefetch_study::run_experiment(scale)),
+        "A6" => Some(temperature::run(scale)),
+        "A7" => Some(multitask::run(scale)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_check_display() {
+        let c = ClaimCheck {
+            claim: "C1",
+            target: ">40%".into(),
+            measured: "46%".into(),
+            pass: true,
+        };
+        let s = c.to_string();
+        assert!(s.contains("PASS") && s.contains("C1"));
+    }
+
+    #[test]
+    fn experiment_result_render_and_pass() {
+        let r = ExperimentResult {
+            id: "F0",
+            title: "smoke",
+            table: "a b\n---\n1 2\n".into(),
+            summary: "fine.".into(),
+            claims: vec![ClaimCheck {
+                claim: "C0",
+                target: "t".into(),
+                measured: "m".into(),
+                pass: false,
+            }],
+        };
+        assert!(!r.passed());
+        let s = r.render();
+        assert!(s.contains("## F0") && s.contains("FAIL"));
+    }
+
+    #[test]
+    fn by_id_rejects_unknown() {
+        assert!(by_id("F99", Scale::Quick).is_none());
+    }
+}

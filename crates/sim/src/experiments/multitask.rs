@@ -1,0 +1,126 @@
+//! A7 (extension) — multi-programmed (co-scheduled) workloads.
+//!
+//! The paper's evaluation runs one app at a time; real phones time-slice
+//! a foreground app with background services. Co-scheduling enlarges the
+//! combined user footprint while the shared kernel stays hot, so both of
+//! the paper's levers (interference removal, kernel-segment retention)
+//! keep working. This study runs app pairs through the headline designs
+//! and checks that the savings and the performance bound survive
+//! multi-tasking.
+
+use moca_core::L2Design;
+use moca_trace::{AppProfile, MultiProgrammed};
+
+use crate::config::SystemConfig;
+use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::metrics::SimReport;
+use crate::system::System;
+use crate::table::{f3, pct, Table};
+use crate::workloads::{Scale, EXPERIMENT_SEED};
+
+/// Co-scheduled pairs (foreground + background-ish mixes).
+pub const PAIRS: [(&str, &str); 3] = [
+    ("browser", "music"),
+    ("game", "email"),
+    ("video", "social"),
+];
+
+/// Scheduler quantum in references (~10 ms at mobile rates).
+const QUANTUM: u64 = 20_000;
+
+fn run_pair(a: &str, b: &str, design: L2Design, refs: usize) -> SimReport {
+    let apps = vec![
+        AppProfile::by_name(a).expect("known app"),
+        AppProfile::by_name(b).expect("known app"),
+    ];
+    let name = format!("{a}+{b}");
+    let mut sys = System::new(name, design, SystemConfig::default()).expect("valid design");
+    sys.run(MultiProgrammed::new(&apps, QUANTUM, EXPERIMENT_SEED).take(refs));
+    sys.finish()
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let refs = scale.sweep_refs() * 2;
+    let mut table = Table::new(vec![
+        "pair",
+        "L2 kernel share",
+        "cross-eviction share",
+        "static MR saving",
+        "static slowdown",
+        "dynamic saving",
+    ]);
+    let mut savings = Vec::new();
+    let mut slowdowns = Vec::new();
+    let mut kernel_shares = Vec::new();
+    for (a, b) in PAIRS {
+        let base = run_pair(a, b, L2Design::baseline(), refs);
+        let stat = run_pair(a, b, L2Design::static_default(), refs);
+        let dynamic = run_pair(a, b, L2Design::dynamic_default(), refs);
+        let saving = 1.0 - stat.energy_ratio_vs(&base);
+        let slow = stat.slowdown_vs(&base);
+        savings.push(saving);
+        slowdowns.push(slow);
+        kernel_shares.push(base.l2_kernel_share());
+        table.row(vec![
+            format!("{a}+{b}"),
+            pct(base.l2_kernel_share()),
+            pct(base.l2_stats.cross_eviction_share()),
+            pct(saving),
+            f3(slow),
+            pct(1.0 - dynamic.energy_ratio_vs(&base)),
+        ]);
+    }
+    let mean_saving = savings.iter().sum::<f64>() / savings.len() as f64;
+    let worst_slow = slowdowns.iter().fold(0.0f64, |m, &s| m.max(s));
+    let mean_kshare = kernel_shares.iter().sum::<f64>() / kernel_shares.len() as f64;
+
+    let claims = vec![
+        ClaimCheck {
+            claim: "A7/C1",
+            target: "kernel share stays above 40% under co-scheduling".into(),
+            measured: pct(mean_kshare),
+            pass: mean_kshare > 0.40,
+        },
+        ClaimCheck {
+            claim: "A7/C7",
+            target: "static MR saving survives multi-tasking (>= 65%)".into(),
+            measured: pct(mean_saving),
+            pass: mean_saving >= 0.65,
+        },
+        ClaimCheck {
+            claim: "A7/C7",
+            target: "static slowdown stays bounded under multi-tasking (<= 10%)".into(),
+            measured: f3(worst_slow),
+            pass: worst_slow <= 1.10,
+        },
+    ];
+    ExperimentResult {
+        id: "A7",
+        title: "Co-scheduled app pairs on the headline designs (extension)",
+        table: table.render(),
+        summary: format!(
+            "Time-slicing two apps enlarges the combined user footprint but the shared \
+             kernel stays hot ({} of L2 traffic), so the savings persist ({} for the \
+             static technique). The static design's slowdown does creep up (worst \
+             {:.1}%) because its fixed partition was sized for single apps — exactly \
+             the rigidity the paper's dynamic technique exists to remove.",
+            pct(mean_kshare),
+            pct(mean_saving),
+            (worst_slow - 1.0) * 100.0
+        ),
+        claims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn designs_survive_multitasking() {
+        let r = run(Scale::Quick);
+        assert!(r.passed(), "claims failed:\n{}", r.render());
+        assert!(r.table.contains("browser+music"));
+    }
+}

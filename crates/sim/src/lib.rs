@@ -1,0 +1,41 @@
+//! # moca-sim — system model and experiment harness
+//!
+//! Assembles the full simulated platform (in-order core with idle-period
+//! support, L1 pair, one of the paper's L2 designs, flat or row-buffer
+//! DRAM) and hosts the experiment suite that regenerates every figure and
+//! table of the reproduced evaluation (see `DESIGN.md` for the experiment
+//! index and `EXPERIMENTS.md` for results), plus sweep/CSV utilities and
+//! the `repro` / `tracegen` binaries.
+//!
+//! ```
+//! use moca_core::L2Design;
+//! use moca_sim::{System, SystemConfig};
+//! use moca_trace::{AppProfile, TraceGenerator};
+//!
+//! let mut sys = System::new("quick", L2Design::baseline(), SystemConfig::default())?;
+//! sys.run(TraceGenerator::new(&AppProfile::game(), 7).take(10_000));
+//! let report = sys.finish();
+//! assert!(report.l2_miss_rate() <= 1.0);
+//! # Ok::<(), moca_sim::BuildSystemError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod cpu;
+pub mod dram;
+pub mod experiments;
+pub mod metrics;
+pub mod sweep;
+pub mod system;
+pub mod table;
+pub mod workloads;
+
+pub use config::SystemConfig;
+pub use cpu::InOrderCore;
+pub use dram::{DramModel, RowBufferDram, RowBufferParams};
+pub use metrics::{geometric_mean, mean, SimReport};
+pub use sweep::{comparison_table, csv_row, sweep, write_csv, SweepPoint};
+pub use system::{BuildSystemError, System};
+pub use workloads::{run_app, run_app_with_behavior, run_suite, Scale, EXPERIMENT_SEED};

@@ -1,0 +1,201 @@
+//! Parameter-sweep utilities and report export.
+//!
+//! The experiment modules cover the paper's figures; this module gives
+//! downstream users the same machinery for *their own* studies: run a
+//! family of design points over an app, collect [`SimReport`]s, and
+//! export them as CSV or a comparison table.
+
+use std::io::{self, Write};
+
+use moca_core::L2Design;
+use moca_trace::AppProfile;
+
+use crate::metrics::SimReport;
+use crate::table::Table;
+use crate::workloads::run_app;
+
+/// One point of a sweep: the parameter value and its simulation report.
+#[derive(Debug, Clone)]
+pub struct SweepPoint<P> {
+    /// The swept parameter value.
+    pub param: P,
+    /// The resulting report.
+    pub report: SimReport,
+}
+
+/// Runs `app` on the design produced for every parameter value.
+///
+/// # Examples
+///
+/// ```
+/// use moca_sim::sweep::sweep;
+/// use moca_core::L2Design;
+/// use moca_trace::AppProfile;
+///
+/// // Sweep the shared-cache associativity.
+/// let points = sweep(
+///     &[4u32, 8, 16],
+///     |&ways| L2Design::SharedSram { ways },
+///     &AppProfile::music(),
+///     30_000,
+///     1,
+/// );
+/// assert_eq!(points.len(), 3);
+/// // More ways → miss rate cannot get worse by much.
+/// assert!(points[2].report.l2_miss_rate() <= points[0].report.l2_miss_rate() + 0.01);
+/// ```
+pub fn sweep<P, F>(
+    params: &[P],
+    mut to_design: F,
+    app: &AppProfile,
+    refs: usize,
+    seed: u64,
+) -> Vec<SweepPoint<P>>
+where
+    P: Clone,
+    F: FnMut(&P) -> L2Design,
+{
+    params
+        .iter()
+        .map(|p| SweepPoint {
+            param: p.clone(),
+            report: run_app(app, to_design(p), refs, seed),
+        })
+        .collect()
+}
+
+/// The CSV header matching [`csv_row`].
+pub const CSV_HEADER: &str = "app,design,refs,cycles,cpr,l2_accesses,l2_miss_rate,\
+l2_kernel_share,l2_energy_nj,leakage_nj,dynamic_nj,refresh_nj,dram_energy_nj,\
+dram_reads,dram_writes,expired,refreshes,mean_active_ways";
+
+/// Renders one report as a CSV row (fields per [`CSV_HEADER`]).
+pub fn csv_row(r: &SimReport) -> String {
+    format!(
+        "{},{},{},{},{:.4},{},{:.5},{:.5},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{:.2}",
+        r.app,
+        r.design,
+        r.refs,
+        r.cycles,
+        r.cpr(),
+        r.l2_stats.accesses(),
+        r.l2_miss_rate(),
+        r.l2_kernel_share(),
+        r.l2_energy.total().nj(),
+        r.l2_energy.leakage.nj(),
+        r.l2_energy.dynamic().nj(),
+        r.l2_energy.refresh.nj(),
+        r.dram_energy.nj(),
+        r.traffic.dram_reads,
+        r.traffic.dram_writes,
+        r.expiry.expired,
+        r.expiry.refreshes,
+        r.mean_active_ways,
+    )
+}
+
+/// Writes reports as CSV (header + one row per report).
+///
+/// A mutable reference to any [`Write`] can be passed.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_csv<'a, W, I>(mut writer: W, reports: I) -> io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a SimReport>,
+{
+    writeln!(writer, "{CSV_HEADER}")?;
+    for r in reports {
+        writeln!(writer, "{}", csv_row(r))?;
+    }
+    Ok(())
+}
+
+/// Builds a side-by-side comparison table of reports, normalized to the
+/// first one.
+///
+/// # Panics
+///
+/// Panics if `reports` is empty.
+pub fn comparison_table(reports: &[SimReport]) -> Table {
+    assert!(!reports.is_empty(), "nothing to compare");
+    let base = &reports[0];
+    let mut t = Table::new(vec![
+        "design",
+        "miss rate",
+        "norm energy",
+        "slowdown",
+        "mean ways",
+    ]);
+    for r in reports {
+        t.row(vec![
+            r.design.clone(),
+            format!("{:.3}", r.l2_miss_rate()),
+            format!("{:.3}", r.energy_ratio_vs(base)),
+            format!("{:.3}", r.slowdown_vs(base)),
+            format!("{:.1}", r.mean_active_ways),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reports() -> Vec<SimReport> {
+        let app = AppProfile::music();
+        vec![
+            run_app(&app, L2Design::baseline(), 30_000, 1),
+            run_app(&app, L2Design::static_default(), 30_000, 1),
+        ]
+    }
+
+    #[test]
+    fn sweep_runs_every_point() {
+        let app = AppProfile::game();
+        let pts = sweep(
+            &[2u32, 4],
+            |&w| L2Design::SharedSram { ways: w },
+            &app,
+            20_000,
+            3,
+        );
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].param, 2);
+        assert!(pts[0].report.l2_stats.accesses() > 0);
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let rs = reports();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, rs.iter()).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let cols = CSV_HEADER.split(',').count();
+        for line in &lines {
+            assert_eq!(line.split(',').count(), cols, "bad row: {line}");
+        }
+        assert!(lines[1].starts_with("music,"));
+    }
+
+    #[test]
+    fn comparison_table_normalizes_to_first() {
+        let rs = reports();
+        let t = comparison_table(&rs);
+        let rendered = t.render();
+        // First data row is the baseline: norm energy 1.000, slowdown 1.000.
+        let first = rendered.lines().nth(2).expect("row");
+        assert!(first.contains("1.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to compare")]
+    fn empty_comparison_panics() {
+        comparison_table(&[]);
+    }
+}

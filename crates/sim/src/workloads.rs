@@ -1,0 +1,110 @@
+//! Standard workload execution helpers shared by all experiments.
+
+use moca_core::L2Design;
+use moca_trace::{AppProfile, TraceGenerator};
+
+use crate::config::SystemConfig;
+use crate::metrics::SimReport;
+use crate::system::System;
+
+/// How long experiments run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Short traces for CI / unit tests (~1 M references per app).
+    Quick,
+    /// The scale used for `EXPERIMENTS.md` (~12 M references per app).
+    Full,
+}
+
+impl Scale {
+    /// References simulated per app at this scale.
+    pub fn refs(self) -> usize {
+        match self {
+            Scale::Quick => 1_000_000,
+            Scale::Full => 12_000_000,
+        }
+    }
+
+    /// A reduced reference count for quadratic experiments (sweeps).
+    pub fn sweep_refs(self) -> usize {
+        match self {
+            Scale::Quick => 300_000,
+            Scale::Full => 3_000_000,
+        }
+    }
+}
+
+/// The seed all experiments share: results in `EXPERIMENTS.md` are
+/// reproducible because every generator derives from this value.
+pub const EXPERIMENT_SEED: u64 = 0x5EED_2015;
+
+/// Runs one app on one design.
+///
+/// # Panics
+///
+/// Panics if `design` is invalid (experiments construct designs from
+/// validated enums, so this indicates a bug, not bad user input).
+pub fn run_app(app: &AppProfile, design: L2Design, refs: usize, seed: u64) -> SimReport {
+    let mut sys = System::new(app.name, design, SystemConfig::default())
+        .expect("experiment design must be valid");
+    let trace = TraceGenerator::new(app, seed).take(refs);
+    sys.run(trace);
+    sys.finish()
+}
+
+/// Runs one app with segment-behaviour probing enabled.
+///
+/// # Panics
+///
+/// Panics if `design` is invalid.
+pub fn run_app_with_behavior(
+    app: &AppProfile,
+    design: L2Design,
+    refs: usize,
+    seed: u64,
+) -> SimReport {
+    let mut sys = System::new(app.name, design, SystemConfig::default())
+        .expect("experiment design must be valid")
+        .with_behavior_probe();
+    let trace = TraceGenerator::new(app, seed).take(refs);
+    sys.run(trace);
+    sys.finish()
+}
+
+/// Runs the whole ten-app suite on one design.
+pub fn run_suite(design: L2Design, refs: usize, seed: u64) -> Vec<SimReport> {
+    AppProfile::suite()
+        .iter()
+        .map(|app| run_app(app, design, refs, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Quick.refs() < Scale::Full.refs());
+        assert!(Scale::Quick.sweep_refs() < Scale::Quick.refs());
+    }
+
+    #[test]
+    fn run_app_is_deterministic() {
+        let app = AppProfile::music();
+        let a = run_app(&app, L2Design::baseline(), 50_000, 1);
+        let b = run_app(&app, L2Design::baseline(), 50_000, 1);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l2_stats, b.l2_stats);
+    }
+
+    #[test]
+    fn run_suite_covers_all_apps() {
+        let reports = run_suite(L2Design::baseline(), 20_000, 2);
+        assert_eq!(reports.len(), 10);
+        let mut names: Vec<&str> = reports.iter().map(|r| r.app.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+}

@@ -1,0 +1,222 @@
+//! The memory-access record that flows through every layer of the
+//! simulator.
+//!
+//! A trace is conceptually a sequence of [`MemoryAccess`] values. Each
+//! record carries the privilege [`Mode`] of the executing code — the single
+//! bit of OS support the paper's cache designs require.
+
+use std::fmt;
+
+/// Privilege mode of the code performing an access.
+///
+/// The paper's key observation is that interactive smartphone workloads
+/// spend a large fraction of their L2 traffic in [`Mode::Kernel`], and that
+/// kernel and user blocks interfere destructively when they share cache
+/// space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mode {
+    /// Application (user-space) code.
+    User,
+    /// Operating-system kernel code: syscalls, interrupts, the scheduler.
+    Kernel,
+}
+
+impl Mode {
+    /// Both modes, in a stable order (handy for per-mode tables).
+    pub const ALL: [Mode; 2] = [Mode::User, Mode::Kernel];
+
+    /// The other privilege mode.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use moca_trace::Mode;
+    /// assert_eq!(Mode::User.other(), Mode::Kernel);
+    /// ```
+    pub fn other(self) -> Mode {
+        match self {
+            Mode::User => Mode::Kernel,
+            Mode::Kernel => Mode::User,
+        }
+    }
+
+    /// Stable dense index (`User == 0`, `Kernel == 1`) for array-backed
+    /// per-mode statistics.
+    pub fn index(self) -> usize {
+        match self {
+            Mode::User => 0,
+            Mode::Kernel => 1,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::User => f.write_str("user"),
+            Mode::Kernel => f.write_str("kernel"),
+        }
+    }
+}
+
+/// What kind of memory operation an access is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch.
+    InstrFetch,
+    /// Data read.
+    Load,
+    /// Data write.
+    Store,
+}
+
+impl AccessKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [AccessKind; 3] = [AccessKind::InstrFetch, AccessKind::Load, AccessKind::Store];
+
+    /// Returns `true` for operations that dirty a cache line.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+
+    /// Returns `true` for instruction fetches.
+    pub fn is_ifetch(self) -> bool {
+        matches!(self, AccessKind::InstrFetch)
+    }
+
+    /// Stable dense index for array-backed per-kind statistics.
+    pub fn index(self) -> usize {
+        match self {
+            AccessKind::InstrFetch => 0,
+            AccessKind::Load => 1,
+            AccessKind::Store => 2,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::InstrFetch => f.write_str("ifetch"),
+            AccessKind::Load => f.write_str("load"),
+            AccessKind::Store => f.write_str("store"),
+        }
+    }
+}
+
+/// One memory reference in a trace.
+///
+/// Addresses are byte addresses in a flat 64-bit physical space. The
+/// workload generator lays kernel structures and user regions out in
+/// disjoint ranges (see [`crate::kernel::layout`]), mirroring how physical
+/// frames back the two address spaces on real systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryAccess {
+    /// Byte address being referenced.
+    pub addr: u64,
+    /// Program counter of the referencing instruction (diagnostic only).
+    pub pc: u64,
+    /// Operation kind.
+    pub kind: AccessKind,
+    /// Privilege mode of the executing code.
+    pub mode: Mode,
+}
+
+impl MemoryAccess {
+    /// Creates a record.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use moca_trace::{AccessKind, MemoryAccess, Mode};
+    ///
+    /// let a = MemoryAccess::new(0x8000, 0x400, AccessKind::Load, Mode::User);
+    /// assert!(!a.kind.is_write());
+    /// assert_eq!(a.line(64), 0x8000 / 64);
+    /// ```
+    pub fn new(addr: u64, pc: u64, kind: AccessKind, mode: Mode) -> Self {
+        Self {
+            addr,
+            pc,
+            kind,
+            mode,
+        }
+    }
+
+    /// The cache-line index of this access for the given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero or not a power of two.
+    pub fn line(&self, line_bytes: u64) -> u64 {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two, got {line_bytes}"
+        );
+        self.addr >> line_bytes.trailing_zeros()
+    }
+}
+
+impl fmt::Display for MemoryAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} @ {:#012x} (pc {:#012x})",
+            self.mode, self.kind, self.addr, self.pc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_other_roundtrips() {
+        for m in Mode::ALL {
+            assert_eq!(m.other().other(), m);
+        }
+    }
+
+    #[test]
+    fn mode_indices_are_dense() {
+        assert_eq!(Mode::User.index(), 0);
+        assert_eq!(Mode::Kernel.index(), 1);
+    }
+
+    #[test]
+    fn kind_write_classification() {
+        assert!(AccessKind::Store.is_write());
+        assert!(!AccessKind::Load.is_write());
+        assert!(!AccessKind::InstrFetch.is_write());
+        assert!(AccessKind::InstrFetch.is_ifetch());
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_unique() {
+        let idx: Vec<usize> = AccessKind::ALL.iter().map(|k| k.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn line_extraction() {
+        let a = MemoryAccess::new(0x1234, 0, AccessKind::Load, Mode::User);
+        assert_eq!(a.line(64), 0x1234 / 64);
+        assert_eq!(a.line(1), 0x1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn line_rejects_non_power_of_two() {
+        let a = MemoryAccess::new(0, 0, AccessKind::Load, Mode::User);
+        a.line(48);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = MemoryAccess::new(0x40, 0x80, AccessKind::Store, Mode::Kernel);
+        let s = a.to_string();
+        assert!(s.contains("kernel"));
+        assert!(s.contains("store"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Pointer-chasing address streams.
+//!
+//! Linked-data-structure traversals (B-trees, dentry chains, object
+//! graphs) produce *dependent* accesses: the next address is only known
+//! after the current load returns. [`ChaseStream`] models this as a walk
+//! along a pseudo-random Hamiltonian cycle over a region's lines — no
+//! spatial locality, no prefetchable pattern, and a reuse distance equal
+//! to the chain length.
+//!
+//! These streams are the worst case for any cache whose capacity is below
+//! the chain footprint, and are useful for building adversarial custom
+//! workloads on top of the suite in [`crate::apps`].
+//!
+//! # Examples
+//!
+//! ```
+//! use moca_trace::chase::ChaseStream;
+//! use moca_trace::locality::Region;
+//! use moca_trace::rng::Xoshiro256;
+//!
+//! let region = Region::new(0x8000_0000, 1024, 64);
+//! let mut rng = Xoshiro256::seed_from_u64(3);
+//! let mut chase = ChaseStream::new(region, 256, &mut rng);
+//! let a = chase.next_addr(&mut rng);
+//! assert!(region.contains(a));
+//! ```
+
+use crate::locality::Region;
+use crate::rng::Xoshiro256;
+
+/// A dependent-chain walker over a subset of a region's lines.
+#[derive(Debug, Clone)]
+pub struct ChaseStream {
+    region: Region,
+    /// `next[i]` is the successor of chain node `i` (a permutation cycle).
+    next: Vec<u32>,
+    /// Line index of each chain node.
+    lines: Vec<u32>,
+    /// Current chain node.
+    cursor: u32,
+    /// Probability of restarting at the chain head (re-traversal from the
+    /// root, as in repeated lookups).
+    pub restart_p: f64,
+}
+
+impl ChaseStream {
+    /// Builds a chain of `chain_len` nodes over distinct lines of
+    /// `region`, linked in a single pseudo-random cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain_len` is zero or exceeds the region's line count.
+    pub fn new(region: Region, chain_len: u64, rng: &mut Xoshiro256) -> Self {
+        assert!(chain_len > 0, "chain must have at least one node");
+        assert!(
+            chain_len <= region.lines(),
+            "chain of {chain_len} nodes cannot fit {} lines",
+            region.lines()
+        );
+        assert!(
+            region.lines() <= u64::from(u32::MAX),
+            "chase regions are limited to 2^32 lines"
+        );
+        // Pick chain_len distinct lines via a partial Fisher–Yates.
+        let mut pool: Vec<u32> = (0..region.lines() as u32).collect();
+        let n = chain_len as usize;
+        for i in 0..n {
+            let j = i as u64 + rng.below(pool.len() as u64 - i as u64);
+            pool.swap(i, j as usize);
+        }
+        let lines: Vec<u32> = pool[..n].to_vec();
+        // A single cycle: node order is a second shuffle of 0..n.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        rng.shuffle(&mut order);
+        let mut next = vec![0u32; n];
+        for w in 0..n {
+            next[order[w] as usize] = order[(w + 1) % n];
+        }
+        Self {
+            region,
+            next,
+            lines,
+            cursor: 0,
+            restart_p: 0.0,
+        }
+    }
+
+    /// Number of nodes in the chain.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// `true` for a single-node chain.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The region walked.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Footprint of the chain in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.lines.len() as u64 * self.region.line_bytes()
+    }
+
+    /// Advances the walk and returns the next line index (region-local).
+    pub fn next_line(&mut self, rng: &mut Xoshiro256) -> u64 {
+        if self.restart_p > 0.0 && rng.chance(self.restart_p) {
+            self.cursor = 0;
+        } else {
+            self.cursor = self.next[self.cursor as usize];
+        }
+        u64::from(self.lines[self.cursor as usize])
+    }
+
+    /// Advances the walk and returns the next byte address.
+    pub fn next_addr(&mut self, rng: &mut Xoshiro256) -> u64 {
+        let line = self.next_line(rng);
+        self.region.line_addr(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn mk(chain: u64) -> (ChaseStream, Xoshiro256) {
+        let region = Region::new(0x9000_0000, 4096, 64);
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let s = ChaseStream::new(region, chain, &mut rng);
+        (s, rng)
+    }
+
+    #[test]
+    fn chain_visits_every_node_once_per_lap() {
+        let (mut s, mut rng) = mk(512);
+        let mut seen = HashSet::new();
+        for _ in 0..512 {
+            assert!(seen.insert(s.next_line(&mut rng)), "revisit within a lap");
+        }
+        // The next lap revisits exactly the same set.
+        let mut second = HashSet::new();
+        for _ in 0..512 {
+            second.insert(s.next_line(&mut rng));
+        }
+        assert_eq!(seen, second);
+    }
+
+    #[test]
+    fn chain_lines_are_distinct_and_in_region() {
+        let (mut s, mut rng) = mk(1000);
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.footprint_bytes(), 1000 * 64);
+        for _ in 0..2000 {
+            let a = s.next_addr(&mut rng);
+            assert!(s.region().contains(a));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let (mut s, mut rng) = mk(128);
+            (0..400).map(|_| s.next_line(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn restart_shortens_effective_footprint() {
+        let (mut s, mut rng) = mk(2048);
+        s.restart_p = 0.05; // restart every ~20 steps
+        let mut seen = HashSet::new();
+        for _ in 0..4000 {
+            seen.insert(s.next_line(&mut rng));
+        }
+        assert!(
+            seen.len() < 1500,
+            "frequent restarts should confine the walk, saw {} lines",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn single_node_chain() {
+        let (mut s, mut rng) = mk(1);
+        assert!(!s.is_empty());
+        let first = s.next_line(&mut rng);
+        assert_eq!(s.next_line(&mut rng), first);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn oversized_chain_panics() {
+        let region = Region::new(0, 16, 64);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        ChaseStream::new(region, 17, &mut rng);
+    }
+}

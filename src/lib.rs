@@ -1,0 +1,28 @@
+//! # moca — energy-efficient mobile L2 cache design
+//!
+//! Facade crate re-exporting the `moca` workspace: a reproduction of
+//! *"Energy-efficient cache design in emerging mobile platforms"*
+//! (DATE'15) and its TODAES'17 extension. See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the reproduced evaluation.
+//!
+//! ```
+//! use moca::trace::{AppProfile, TraceGenerator};
+//!
+//! let gen = TraceGenerator::new(&AppProfile::browser(), 42);
+//! assert!(gen.take(1000).count() == 1000);
+//! ```
+
+/// Workload and trace synthesis (re-export of `moca-trace`).
+pub use moca_trace as trace;
+
+/// Cache substrate (re-export of `moca-cache`).
+pub use moca_cache as cache;
+
+/// SRAM / STT-RAM technology models (re-export of `moca-energy`).
+pub use moca_energy as energy;
+
+/// The paper's L2 designs (re-export of `moca-core`).
+pub use moca_core as core;
+
+/// System model and experiment harness (re-export of `moca-sim`).
+pub use moca_sim as sim;
