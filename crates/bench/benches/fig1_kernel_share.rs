@@ -1,34 +1,25 @@
 //! F1 bench: baseline simulation that measures the kernel share of L2
 //! accesses (one app per iteration; the full figure runs all ten).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use moca_bench::{bench_run, BENCH_SEED};
+use moca_bench::{bench_run, Runner, BENCH_SEED};
 use moca_core::L2Design;
 use moca_sim::run_app;
 use moca_trace::AppProfile;
 use std::hint::black_box;
 
-fn fig1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_kernel_share");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::new("fig1_kernel_share");
     for app in [AppProfile::browser(), AppProfile::game(), AppProfile::music()] {
-        g.bench_function(app.name, |b| {
-            b.iter(|| {
-                let r = bench_run(&app, L2Design::baseline());
-                black_box(r.l2_kernel_share())
-            })
+        r.bench(app.name, || {
+            let report = bench_run(&app, L2Design::baseline());
+            black_box(report.l2_kernel_share())
         });
     }
     // The raw-share measurement path (trace statistics via the L1s).
-    g.bench_function("raw-share-email", |b| {
-        let app = AppProfile::email();
-        b.iter(|| {
-            let r = run_app(&app, L2Design::baseline(), 60_000, BENCH_SEED);
-            black_box(r.l1_stats.kernel_share())
-        })
+    let email = AppProfile::email();
+    r.bench("raw-share-email", || {
+        let report = run_app(&email, L2Design::baseline(), 60_000, BENCH_SEED);
+        black_box(report.l1_stats.kernel_share())
     });
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, fig1);
-criterion_main!(benches);

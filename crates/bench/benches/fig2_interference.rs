@@ -1,35 +1,26 @@
 //! F2 bench: shared vs isolated runs that quantify user/kernel
 //! interference (cross-mode evictions and the miss-rate gap).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use moca_bench::{bench_app, bench_run};
+use moca_bench::{bench_app, bench_run, Runner};
 use moca_core::L2Design;
 use std::hint::black_box;
 
-fn fig2(c: &mut Criterion) {
+fn main() {
     let app = bench_app();
-    let mut g = c.benchmark_group("fig2_interference");
-    g.sample_size(10);
-    g.bench_function("shared-with-cross-evictions", |b| {
-        b.iter(|| {
-            let r = bench_run(&app, L2Design::baseline());
-            black_box(r.l2_stats.cross_eviction_share())
-        })
+    let mut r = Runner::new("fig2_interference");
+    r.bench("shared-with-cross-evictions", || {
+        let report = bench_run(&app, L2Design::baseline());
+        black_box(report.l2_stats.cross_eviction_share())
     });
-    g.bench_function("isolated-double-capacity", |b| {
-        b.iter(|| {
-            let r = bench_run(
-                &app,
-                L2Design::StaticSram {
-                    user_ways: 16,
-                    kernel_ways: 16,
-                },
-            );
-            black_box(r.l2_miss_rate())
-        })
+    r.bench("isolated-double-capacity", || {
+        let report = bench_run(
+            &app,
+            L2Design::StaticSram {
+                user_ways: 16,
+                kernel_ways: 16,
+            },
+        );
+        black_box(report.l2_miss_rate())
     });
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, fig2);
-criterion_main!(benches);

@@ -1,38 +1,29 @@
 //! F3 bench: one evaluation step of the partition-sizing search plus the
 //! search loop itself on a synthetic miss-rate model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use moca_bench::{bench_app, bench_run};
+use moca_bench::{bench_app, bench_run, Runner};
 use moca_core::{find_min_partition, L2Design};
 use std::hint::black_box;
 
-fn fig3(c: &mut Criterion) {
+fn main() {
     let app = bench_app();
-    let mut g = c.benchmark_group("fig3_static_sweep");
-    g.sample_size(10);
-    g.bench_function("one-candidate-eval", |b| {
-        b.iter(|| {
-            let r = bench_run(
-                &app,
-                L2Design::StaticSram {
-                    user_ways: 6,
-                    kernel_ways: 4,
-                },
-            );
-            black_box(r.l2_miss_rate())
-        })
+    let mut r = Runner::new("fig3_static_sweep");
+    r.bench("one-candidate-eval", || {
+        let report = bench_run(
+            &app,
+            L2Design::StaticSram {
+                user_ways: 6,
+                kernel_ways: 4,
+            },
+        );
+        black_box(report.l2_miss_rate())
     });
-    g.bench_function("search-loop-synthetic", |b| {
-        b.iter(|| {
-            let choice = find_min_partition(12, 8, 0.10, 0.01, |u, k| {
-                0.10 + 0.02 * (6u32.saturating_sub(u) as f64)
-                    + 0.03 * (4u32.saturating_sub(k) as f64)
-            });
-            black_box(choice.total_ways())
-        })
+    r.bench("search-loop-synthetic", || {
+        let choice = find_min_partition(12, 8, 0.10, 0.01, |u, k| {
+            0.10 + 0.02 * (6u32.saturating_sub(u) as f64)
+                + 0.03 * (4u32.saturating_sub(k) as f64)
+        });
+        black_box(choice.total_ways())
     });
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, fig3);
-criterion_main!(benches);

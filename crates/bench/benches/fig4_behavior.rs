@@ -1,39 +1,30 @@
 //! F4 bench: behaviour-probed simulation (reuse/lifetime histograms) and
 //! the retention recommendation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use moca_bench::{bench_app, BENCH_REFS, BENCH_SEED};
+use moca_bench::{bench_app, Runner, BENCH_REFS, BENCH_SEED};
 use moca_core::{recommend_retention, L2Design};
 use moca_sim::run_app_with_behavior;
 use moca_trace::Mode;
 use std::hint::black_box;
 
-fn fig4(c: &mut Criterion) {
+fn main() {
     let app = bench_app();
     let design = L2Design::StaticSram {
         user_ways: 6,
         kernel_ways: 4,
     };
-    let mut g = c.benchmark_group("fig4_behavior");
-    g.sample_size(10);
-    g.bench_function("behavior-probed-run", |b| {
-        b.iter(|| {
-            let r = run_app_with_behavior(&app, design, BENCH_REFS, BENCH_SEED);
-            black_box(r.behavior(Mode::Kernel).reuse.total())
-        })
+    let mut r = Runner::new("fig4_behavior");
+    r.bench("behavior-probed-run", || {
+        let report = run_app_with_behavior(&app, design, BENCH_REFS, BENCH_SEED);
+        black_box(report.behavior(Mode::Kernel).reuse.total())
     });
     let report = run_app_with_behavior(&app, design, BENCH_REFS, BENCH_SEED);
-    g.bench_function("retention-recommendation", |b| {
-        b.iter(|| {
-            black_box(recommend_retention(
-                &report.behavior(Mode::Kernel).lifetime,
-                1.0,
-                0.95,
-            ))
-        })
+    r.bench("retention-recommendation", || {
+        black_box(recommend_retention(
+            &report.behavior(Mode::Kernel).lifetime,
+            1.0,
+            0.95,
+        ))
     });
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, fig4);
-criterion_main!(benches);

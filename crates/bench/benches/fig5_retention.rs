@@ -1,38 +1,31 @@
 //! F5 bench: one retention-class point of the design-space sweep under
 //! both expiry policies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use moca_bench::{bench_app, bench_run};
+use moca_bench::{bench_app, bench_run, Runner};
 use moca_core::{L2Design, RefreshPolicy};
 use moca_energy::RetentionClass;
 use std::hint::black_box;
 
-fn fig5(c: &mut Criterion) {
+fn main() {
     let app = bench_app();
-    let mut g = c.benchmark_group("fig5_retention");
-    g.sample_size(10);
+    let mut r = Runner::new("fig5_retention");
     for (label, policy) in [
         ("invalidate-10ms", RefreshPolicy::InvalidateOnExpiry),
         ("refresh-10ms", RefreshPolicy::Refresh),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let r = bench_run(
-                    &app,
-                    L2Design::StaticMultiRetention {
-                        user_ways: 6,
-                        kernel_ways: 4,
-                        user_retention: RetentionClass::TenMillis,
-                        kernel_retention: RetentionClass::TenMillis,
-                        refresh: policy,
-                    },
-                );
-                black_box(r.l2_energy.total())
-            })
+        r.bench(label, || {
+            let report = bench_run(
+                &app,
+                L2Design::StaticMultiRetention {
+                    user_ways: 6,
+                    kernel_ways: 4,
+                    user_retention: RetentionClass::TenMillis,
+                    kernel_retention: RetentionClass::TenMillis,
+                    refresh: policy,
+                },
+            );
+            black_box(report.l2_energy.total())
         });
     }
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, fig5);
-criterion_main!(benches);

@@ -1,26 +1,21 @@
 //! F6 bench: the performance comparison's inner loop (baseline vs the
 //! dynamic design, whose STT-RAM latencies and epochs cost the most).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use moca_bench::{bench_app, bench_run};
+use moca_bench::{bench_app, bench_run, Runner};
 use moca_core::L2Design;
 use std::hint::black_box;
 
-fn fig6(c: &mut Criterion) {
+fn main() {
     let app = bench_app();
-    let mut g = c.benchmark_group("fig6_performance");
-    g.sample_size(10);
-    g.bench_function("baseline-cpr", |b| {
-        b.iter(|| black_box(bench_run(&app, L2Design::baseline()).cpr()))
+    let mut r = Runner::new("fig6_performance");
+    r.bench("baseline-cpr", || {
+        black_box(bench_run(&app, L2Design::baseline()).cpr())
     });
-    g.bench_function("static-mr-cpr", |b| {
-        b.iter(|| black_box(bench_run(&app, L2Design::static_default()).cpr()))
+    r.bench("static-mr-cpr", || {
+        black_box(bench_run(&app, L2Design::static_default()).cpr())
     });
-    g.bench_function("dynamic-cpr", |b| {
-        b.iter(|| black_box(bench_run(&app, L2Design::dynamic_default()).cpr()))
+    r.bench("dynamic-cpr", || {
+        black_box(bench_run(&app, L2Design::dynamic_default()).cpr())
     });
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, fig6);
-criterion_main!(benches);

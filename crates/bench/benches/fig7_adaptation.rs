@@ -1,36 +1,27 @@
 //! F7 bench: dynamic-design run with timeline collection, plus the
 //! controller decision in isolation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use moca_bench::{bench_app, bench_run};
+use moca_bench::{bench_app, bench_run, Runner};
 use moca_cache::CacheGeometry;
 use moca_core::{ControllerConfig, DynamicController, L2Design};
 use moca_trace::Mode;
 use std::hint::black_box;
 
-fn fig7(c: &mut Criterion) {
+fn main() {
     let app = bench_app();
-    let mut g = c.benchmark_group("fig7_adaptation");
-    g.sample_size(10);
-    g.bench_function("dynamic-run-with-timeline", |b| {
-        b.iter(|| {
-            let r = bench_run(&app, L2Design::dynamic_default());
-            black_box(r.timeline.len())
-        })
+    let mut r = Runner::new("fig7_adaptation");
+    r.bench("dynamic-run-with-timeline", || {
+        let report = bench_run(&app, L2Design::dynamic_default());
+        black_box(report.timeline.len())
     });
-    g.bench_function("controller-epoch-decision", |b| {
-        let geom = CacheGeometry::new(2 << 20, 16, 64).expect("valid");
-        b.iter(|| {
-            let mut ctrl = DynamicController::new(ControllerConfig::new(1000, 1, 16), geom);
-            for i in 0..4096u64 {
-                ctrl.observe(Mode::User, (i % 5) * 2048);
-                ctrl.observe(Mode::Kernel, (7 + i % 3) * 2048);
-            }
-            black_box(ctrl.decide(1000, (8, 8)))
-        })
+    let geom = CacheGeometry::new(2 << 20, 16, 64).expect("valid");
+    r.bench("controller-epoch-decision", || {
+        let mut ctrl = DynamicController::new(ControllerConfig::new(1000, 1, 16), geom);
+        for i in 0..4096u64 {
+            ctrl.observe(Mode::User, (i % 5) * 2048);
+            ctrl.observe(Mode::Kernel, (7 + i % 3) * 2048);
+        }
+        black_box(ctrl.decide(1000, (8, 8)))
     });
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, fig7);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! F8 bench: ablation variants of the dynamic design (epoch length and
 //! refresh policy extremes).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use moca_bench::{bench_app, bench_run};
+use moca_bench::{bench_app, bench_run, Runner};
 use moca_core::{L2Design, RefreshPolicy};
 use moca_energy::RetentionClass;
 use std::hint::black_box;
@@ -18,21 +17,29 @@ fn variant(epoch: u64, refresh: RefreshPolicy) -> L2Design {
     }
 }
 
-fn fig8(c: &mut Criterion) {
+fn main() {
     let app = bench_app();
-    let mut g = c.benchmark_group("fig8_sensitivity");
-    g.sample_size(10);
-    g.bench_function("epoch-100k", |b| {
-        b.iter(|| black_box(bench_run(&app, variant(100_000, RefreshPolicy::InvalidateOnExpiry)).l2_energy.total()))
+    let mut r = Runner::new("fig8_sensitivity");
+    r.bench("epoch-100k", || {
+        black_box(
+            bench_run(&app, variant(100_000, RefreshPolicy::InvalidateOnExpiry))
+                .l2_energy
+                .total(),
+        )
     });
-    g.bench_function("epoch-2M", |b| {
-        b.iter(|| black_box(bench_run(&app, variant(2_000_000, RefreshPolicy::InvalidateOnExpiry)).l2_energy.total()))
+    r.bench("epoch-2M", || {
+        black_box(
+            bench_run(&app, variant(2_000_000, RefreshPolicy::InvalidateOnExpiry))
+                .l2_energy
+                .total(),
+        )
     });
-    g.bench_function("policy-refresh", |b| {
-        b.iter(|| black_box(bench_run(&app, variant(500_000, RefreshPolicy::Refresh)).l2_energy.total()))
+    r.bench("policy-refresh", || {
+        black_box(
+            bench_run(&app, variant(500_000, RefreshPolicy::Refresh))
+                .l2_energy
+                .total(),
+        )
     });
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, fig8);
-criterion_main!(benches);

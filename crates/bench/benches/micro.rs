@@ -1,92 +1,76 @@
 //! Microbenchmarks of the substrates: trace generation throughput, the
 //! cache access path, L1 filtering, and the utility monitor.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use moca_bench::Runner;
 use moca_cache::{CacheGeometry, L1Pair, ReplacementPolicy, SetAssocCache, UtilityMonitor, WayMask};
 use moca_trace::{AppProfile, Mode, TraceGenerator};
 use std::hint::black_box;
 
-fn trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro_trace_generation");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("browser-100k-refs", |b| {
-        b.iter(|| {
-            let gen = TraceGenerator::new(&AppProfile::browser(), 1);
-            black_box(gen.take(100_000).map(|a| a.addr).sum::<u64>())
-        })
+fn trace_generation(r: &mut Runner) {
+    r.throughput_elems(100_000);
+    r.bench("trace-generation/browser-100k-refs", || {
+        let gen = TraceGenerator::new(&AppProfile::browser(), 1);
+        black_box(gen.take(100_000).map(|a| a.addr).sum::<u64>())
     });
-    g.finish();
 }
 
-fn cache_access_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro_cache_access");
+fn cache_access_path(r: &mut Runner) {
     let geom = CacheGeometry::new(2 << 20, 16, 64).expect("valid");
     let policies = [
         ("lru", ReplacementPolicy::Lru),
         ("plru", ReplacementPolicy::TreePlru),
         ("srrip", ReplacementPolicy::Srrip),
     ];
-    g.throughput(Throughput::Elements(100_000));
     for (name, policy) in policies {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut cache = SetAssocCache::new(geom, policy);
-                let mask = WayMask::first(16);
-                let mut hits = 0u64;
-                for i in 0..100_000u64 {
-                    let line = (i * 2654435761) % 100_000;
-                    if cache.access(line, i % 7 == 0, Mode::User, i, mask).hit {
-                        hits += 1;
-                    }
+        r.throughput_elems(100_000);
+        r.bench(&format!("cache-access/{name}"), || {
+            let mut cache = SetAssocCache::new(geom, policy);
+            let mask = WayMask::first(16);
+            let mut hits = 0u64;
+            for i in 0..100_000u64 {
+                let line = (i * 2654435761) % 100_000;
+                if cache.access(line, i % 7 == 0, Mode::User, i, mask).hit {
+                    hits += 1;
                 }
-                black_box(hits)
-            })
+            }
+            black_box(hits)
         });
     }
-    g.finish();
 }
 
-fn l1_filter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro_l1_filter");
+fn l1_filter(r: &mut Runner) {
     let trace: Vec<_> = TraceGenerator::new(&AppProfile::game(), 2)
         .take(100_000)
         .collect();
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("filter-100k", |b| {
-        b.iter(|| {
-            let mut l1 = L1Pair::mobile_default();
-            let mut reqs = 0u64;
-            for (i, a) in trace.iter().enumerate() {
-                let o = l1.filter(a, i as u64);
-                reqs += u64::from(o.demand.is_some()) + u64::from(o.writeback.is_some());
-            }
-            black_box(reqs)
-        })
+    r.throughput_elems(trace.len() as u64);
+    r.bench("l1-filter/filter-100k", || {
+        let mut l1 = L1Pair::mobile_default();
+        let mut reqs = 0u64;
+        for (i, a) in trace.iter().enumerate() {
+            let o = l1.filter(a, i as u64);
+            reqs += u64::from(o.demand.is_some()) + u64::from(o.writeback.is_some());
+        }
+        black_box(reqs)
     });
-    g.finish();
 }
 
-fn utility_monitor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro_utility_monitor");
+fn utility_monitor(r: &mut Runner) {
     let geom = CacheGeometry::new(2 << 20, 16, 64).expect("valid");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("observe-100k", |b| {
-        b.iter(|| {
-            let mut m = UtilityMonitor::new(geom, 4);
-            for i in 0..100_000u64 {
-                m.observe(i % 40_000);
-            }
-            black_box(m.hits_with_ways(16))
-        })
+    r.throughput_elems(100_000);
+    r.bench("utility-monitor/observe-100k", || {
+        let mut m = UtilityMonitor::new(geom, 4);
+        for i in 0..100_000u64 {
+            m.observe(i % 40_000);
+        }
+        black_box(m.hits_with_ways(16))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    trace_generation,
-    cache_access_path,
-    l1_filter,
-    utility_monitor
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("micro");
+    trace_generation(&mut r);
+    cache_access_path(&mut r);
+    l1_filter(&mut r);
+    utility_monitor(&mut r);
+    r.finish();
+}

@@ -1,25 +1,18 @@
 //! T2 bench: one app across the four headline designs (the energy table's
 //! inner loop).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use moca_bench::{bench_app, bench_run};
+use moca_bench::{bench_app, bench_run, Runner};
 use moca_sim::experiments::matrix::headline_designs;
 use std::hint::black_box;
 
-fn table2(c: &mut Criterion) {
+fn main() {
     let app = bench_app();
-    let mut g = c.benchmark_group("table2_energy");
-    g.sample_size(10);
+    let mut r = Runner::new("table2_energy");
     for design in headline_designs() {
-        g.bench_function(design.label(), |b| {
-            b.iter(|| {
-                let r = bench_run(&app, design);
-                black_box(r.l2_energy.total())
-            })
+        r.bench(&design.label(), || {
+            let report = bench_run(&app, design);
+            black_box(report.l2_energy.total())
         });
     }
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, table2);
-criterion_main!(benches);

@@ -1,115 +1,160 @@
-//! Property-based tests of the replacement policies through the public
-//! cache API: every policy must preserve the cache's structural
-//! invariants under arbitrary access interleavings and mask shapes.
+//! Property-based tests (moca-testkit) of the replacement policies
+//! through the public cache API: every policy must preserve the cache's
+//! structural invariants under arbitrary access interleavings and mask
+//! shapes.
 
-use proptest::prelude::*;
+use moca_testkit::{check, check_shrink, shrink_vec, Config, TestRng};
+use moca_testkit::{require, require_eq, require_ne};
 
 use moca_cache::{CacheGeometry, ReplacementPolicy, SetAssocCache, WayMask};
 use moca_trace::Mode;
 
-fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
-    prop_oneof![
-        Just(ReplacementPolicy::Lru),
-        Just(ReplacementPolicy::Fifo),
-        (1u64..1000).prop_map(|seed| ReplacementPolicy::Random { seed }),
-        Just(ReplacementPolicy::Nru),
-        Just(ReplacementPolicy::TreePlru),
-        Just(ReplacementPolicy::Srrip),
-    ]
+fn arb_policy(rng: &mut TestRng) -> ReplacementPolicy {
+    match rng.range_usize(0, 6) {
+        0 => ReplacementPolicy::Lru,
+        1 => ReplacementPolicy::Fifo,
+        2 => ReplacementPolicy::Random {
+            seed: rng.range_u64(1, 1000),
+        },
+        3 => ReplacementPolicy::Nru,
+        4 => ReplacementPolicy::TreePlru,
+        _ => ReplacementPolicy::Srrip,
+    }
 }
 
 /// A non-empty mask over 8 ways.
-fn arb_mask() -> impl Strategy<Value = WayMask> {
-    (1u64..256).prop_map(WayMask::from_bits)
+fn arb_mask(rng: &mut TestRng) -> WayMask {
+    WayMask::from_bits(rng.range_u64(1, 256))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Under any policy and mask, an immediate re-access of the line just
-    /// accessed is a hit (no policy may evict the block it just touched
-    /// for an access to the same line).
-    #[test]
-    fn reaccess_is_always_hit(
-        policy in arb_policy(),
-        mask in arb_mask(),
-        lines in prop::collection::vec(0u64..10_000, 1..200),
-    ) {
-        let geom = CacheGeometry::new(32 * 8 * 64, 8, 64).expect("valid");
-        let mut cache = SetAssocCache::new(geom, policy);
-        for (i, line) in lines.iter().enumerate() {
-            cache.access(*line, false, Mode::User, i as u64, mask);
-            let again = cache.access(*line, false, Mode::User, i as u64 + 1, mask);
-            prop_assert!(again.hit, "immediate re-access must hit ({policy:?})");
-        }
-    }
-
-    /// A victim is never the line being inserted, is always previously
-    /// valid, and vacating it leaves the set within capacity.
-    #[test]
-    fn victims_are_sane(
-        policy in arb_policy(),
-        lines in prop::collection::vec(0u64..64, 32..300), // few sets → evictions
-    ) {
-        let geom = CacheGeometry::new(4 * 4 * 64, 4, 64).expect("valid"); // 4 sets
-        let mut cache = SetAssocCache::new(geom, policy);
-        let mask = WayMask::first(4);
-        for (i, line) in lines.iter().enumerate() {
-            let res = cache.access(*line, i % 3 == 0, Mode::User, i as u64, mask);
-            if let Some(v) = res.victim {
-                prop_assert_ne!(v.line, *line);
-                prop_assert!(v.access_count >= 1);
-                prop_assert!(v.last_touch >= v.inserted_at);
-                prop_assert!(v.last_write >= v.inserted_at);
+/// Under any policy and mask, an immediate re-access of the line just
+/// accessed is a hit (no policy may evict the block it just touched for
+/// an access to the same line).
+#[test]
+fn reaccess_is_always_hit() {
+    check(
+        Config::cases(48),
+        |rng| {
+            (
+                arb_policy(rng),
+                arb_mask(rng),
+                rng.vec(1, 200, |r| r.range_u64(0, 10_000)),
+            )
+        },
+        |(policy, mask, lines)| {
+            let geom = CacheGeometry::new(32 * 8 * 64, 8, 64).expect("valid");
+            let mut cache = SetAssocCache::new(geom, *policy);
+            for (i, line) in lines.iter().enumerate() {
+                cache.access(*line, false, Mode::User, i as u64, *mask);
+                let again = cache.access(*line, false, Mode::User, i as u64 + 1, *mask);
+                require!(again.hit, "immediate re-access must hit ({policy:?})");
             }
-        }
-        prop_assert!(cache.occupancy(mask) <= 16);
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Statistics are conserved: every miss either filled an empty way or
-    /// produced exactly one eviction.
-    #[test]
-    fn eviction_conservation(
-        policy in arb_policy(),
-        lines in prop::collection::vec(0u64..128, 1..400),
-    ) {
-        let geom = CacheGeometry::new(8 * 4 * 64, 4, 64).expect("valid"); // 8 sets
-        let mut cache = SetAssocCache::new(geom, policy);
-        let mask = WayMask::first(4);
-        let mut evictions = 0u64;
-        for (i, line) in lines.iter().enumerate() {
-            if cache.access(*line, false, Mode::User, i as u64, mask).victim.is_some() {
-                evictions += 1;
+/// A victim is never the line being inserted, is always previously
+/// valid, and vacating it leaves the set within capacity.
+#[test]
+fn victims_are_sane() {
+    check(
+        Config::cases(48),
+        |rng| {
+            (
+                arb_policy(rng),
+                rng.vec(32, 300, |r| r.range_u64(0, 64)), // few sets → evictions
+            )
+        },
+        |(policy, lines)| {
+            let geom = CacheGeometry::new(4 * 4 * 64, 4, 64).expect("valid"); // 4 sets
+            let mut cache = SetAssocCache::new(geom, *policy);
+            let mask = WayMask::first(4);
+            for (i, line) in lines.iter().enumerate() {
+                let res = cache.access(*line, i % 3 == 0, Mode::User, i as u64, mask);
+                if let Some(v) = res.victim {
+                    require_ne!(v.line, *line);
+                    require!(v.access_count >= 1);
+                    require!(v.last_touch >= v.inserted_at);
+                    require!(v.last_write >= v.inserted_at);
+                }
             }
-        }
-        let stats = cache.stats();
-        prop_assert_eq!(stats.evictions(), evictions);
-        prop_assert_eq!(
-            stats.misses(),
-            evictions + cache.occupancy(mask),
-            "misses = evictions + resident blocks (fills into empty ways)"
-        );
-    }
+            require!(cache.occupancy(mask) <= 16);
+            Ok(())
+        },
+    );
+}
 
-    /// Drain + re-access: draining a way invalidates exactly its blocks
-    /// and the drained lines subsequently miss.
-    #[test]
-    fn drain_way_consistency(
-        policy in arb_policy(),
-        lines in prop::collection::vec(0u64..256, 16..200),
-        way in 0u32..4,
-    ) {
-        let geom = CacheGeometry::new(8 * 4 * 64, 4, 64).expect("valid");
-        let mut cache = SetAssocCache::new(geom, policy);
-        let mask = WayMask::first(4);
-        for (i, line) in lines.iter().enumerate() {
-            cache.access(*line, false, Mode::User, i as u64, mask);
-        }
-        let before = cache.occupancy(mask);
-        let drained = cache.drain_way(way);
-        prop_assert_eq!(cache.occupancy(mask), before - drained.len() as u64);
-        for ev in &drained {
-            prop_assert!(cache.probe(ev.line, mask).is_none(), "drained line still probes");
-        }
-    }
+/// Statistics are conserved: every miss either filled an empty way or
+/// produced exactly one eviction.
+#[test]
+fn eviction_conservation() {
+    check(
+        Config::cases(48),
+        |rng| (arb_policy(rng), rng.vec(1, 400, |r| r.range_u64(0, 128))),
+        |(policy, lines)| {
+            let geom = CacheGeometry::new(8 * 4 * 64, 4, 64).expect("valid"); // 8 sets
+            let mut cache = SetAssocCache::new(geom, *policy);
+            let mask = WayMask::first(4);
+            let mut evictions = 0u64;
+            for (i, line) in lines.iter().enumerate() {
+                if cache
+                    .access(*line, false, Mode::User, i as u64, mask)
+                    .victim
+                    .is_some()
+                {
+                    evictions += 1;
+                }
+            }
+            let stats = cache.stats();
+            require_eq!(stats.evictions(), evictions);
+            require_eq!(
+                stats.misses(),
+                evictions + cache.occupancy(mask),
+                "misses = evictions + resident blocks (fills into empty ways)"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Drain + re-access: draining a way invalidates exactly its blocks and
+/// the drained lines subsequently miss.
+#[test]
+fn drain_way_consistency() {
+    check_shrink(
+        Config::cases(48),
+        |rng| {
+            (
+                arb_policy(rng),
+                rng.vec(16, 200, |r| r.range_u64(0, 256)),
+                rng.range_u32(0, 4),
+            )
+        },
+        |(policy, lines, way)| {
+            // Shrink only the access sequence; keep policy and way fixed.
+            shrink_vec(lines)
+                .into_iter()
+                .map(|c| (*policy, c, *way))
+                .collect()
+        },
+        |(policy, lines, way)| {
+            let geom = CacheGeometry::new(8 * 4 * 64, 4, 64).expect("valid");
+            let mut cache = SetAssocCache::new(geom, *policy);
+            let mask = WayMask::first(4);
+            for (i, line) in lines.iter().enumerate() {
+                cache.access(*line, false, Mode::User, i as u64, mask);
+            }
+            let before = cache.occupancy(mask);
+            let drained = cache.drain_way(*way);
+            require_eq!(cache.occupancy(mask), before - drained.len() as u64);
+            for ev in &drained {
+                require!(
+                    cache.probe(ev.line, mask).is_none(),
+                    "drained line still probes"
+                );
+            }
+            Ok(())
+        },
+    );
 }

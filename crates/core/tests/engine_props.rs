@@ -1,44 +1,53 @@
-//! Property-based tests of the `MobileL2` engine: structural invariants
-//! must hold for every design under arbitrary request streams.
+//! Property-based tests (moca-testkit) of the `MobileL2` engine:
+//! structural invariants must hold for every design under arbitrary
+//! request streams.
 
-use proptest::prelude::*;
+use moca_testkit::{check, Config, TestRng};
+use moca_testkit::{require, require_eq};
 
 use moca_cache::{L2Cause, L2Request};
 use moca_core::{L2BaseParams, L2Design, MobileL2, RefreshPolicy};
 use moca_energy::RetentionClass;
 use moca_trace::{AccessKind, Mode};
 
-fn arb_design() -> impl Strategy<Value = L2Design> {
-    prop_oneof![
-        (1u32..=16).prop_map(|ways| L2Design::SharedSram { ways }),
-        (1u32..=8, 1u32..=8).prop_map(|(u, k)| L2Design::StaticSram {
-            user_ways: u,
-            kernel_ways: k,
-        }),
-        (1u32..=8, 1u32..=8, 0usize..2).prop_map(|(u, k, r)| L2Design::StaticMultiRetention {
-            user_ways: u,
-            kernel_ways: k,
+fn arb_design(rng: &mut TestRng) -> L2Design {
+    match rng.range_usize(0, 4) {
+        0 => L2Design::SharedSram {
+            ways: rng.range_u32(1, 17),
+        },
+        1 => L2Design::StaticSram {
+            user_ways: rng.range_u32(1, 9),
+            kernel_ways: rng.range_u32(1, 9),
+        },
+        2 => L2Design::StaticMultiRetention {
+            user_ways: rng.range_u32(1, 9),
+            kernel_ways: rng.range_u32(1, 9),
             user_retention: RetentionClass::OneSecond,
             kernel_retention: RetentionClass::TenMillis,
-            refresh: if r == 0 {
+            refresh: if rng.bool() {
                 RefreshPolicy::InvalidateOnExpiry
             } else {
                 RefreshPolicy::Refresh
             },
-        }),
-        (4u32..=16, 1u32..=2).prop_map(|(max, min)| L2Design::DynamicStt {
-            max_ways: max,
-            min_ways: min.min(max / 2).max(1),
-            user_retention: RetentionClass::HundredMillis,
-            kernel_retention: RetentionClass::TenMillis,
-            refresh: RefreshPolicy::InvalidateOnExpiry,
-            epoch_cycles: 20_000,
-        }),
-    ]
+        },
+        _ => {
+            let max = rng.range_u32(4, 17);
+            let min = rng.range_u32(1, 3);
+            L2Design::DynamicStt {
+                max_ways: max,
+                min_ways: min.min(max / 2).max(1),
+                user_retention: RetentionClass::HundredMillis,
+                kernel_retention: RetentionClass::TenMillis,
+                refresh: RefreshPolicy::InvalidateOnExpiry,
+                epoch_cycles: 20_000,
+            }
+        }
+    }
 }
 
-fn arb_request() -> impl Strategy<Value = L2Request> {
-    (0u64..100_000, any::<bool>(), any::<bool>()).prop_map(|(line, write, kernel)| L2Request {
+fn arb_request(rng: &mut TestRng) -> L2Request {
+    let (line, write, kernel) = (rng.range_u64(0, 100_000), rng.bool(), rng.bool());
+    L2Request {
         line,
         write,
         mode: if kernel { Mode::Kernel } else { Mode::User },
@@ -47,104 +56,125 @@ fn arb_request() -> impl Strategy<Value = L2Request> {
         } else {
             L2Cause::Demand(AccessKind::Load)
         },
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// For every design: accounting identities hold after an arbitrary
-    /// request stream (hits+misses = requests, misses = DRAM reads,
-    /// non-negative energy, active ways within physical bounds).
-    #[test]
-    fn engine_invariants(
-        design in arb_design(),
-        reqs in prop::collection::vec(arb_request(), 1..400),
-    ) {
-        let mut l2 = MobileL2::new(design, L2BaseParams::default()).expect("valid design");
-        let mut now = 0u64;
-        for r in &reqs {
-            now += 50;
-            let resp = l2.request(r, now);
-            prop_assert!(resp.latency_cycles >= 1);
-            prop_assert_eq!(resp.dram_read, !resp.hit);
-        }
-        l2.finalize(now + 1);
-
-        let stats = l2.stats();
-        prop_assert_eq!(stats.accesses(), reqs.len() as u64);
-        prop_assert_eq!(stats.hits() + stats.misses(), reqs.len() as u64);
-        prop_assert_eq!(l2.traffic().dram_reads, stats.misses());
-
-        let e = l2.energy();
-        prop_assert!(e.total().pj() >= 0.0);
-        prop_assert!(e.leakage.pj() > 0.0, "time passed, leakage must accrue");
-
-        let active = l2.active_ways();
-        prop_assert!(active >= 1 && active <= design.physical_ways());
-    }
-
-    /// Partitioned designs never report cross-mode evictions and their
-    /// per-mode traffic adds up.
-    #[test]
-    fn partitioned_designs_have_no_interference(
-        u in 1u32..=8,
-        k in 1u32..=8,
-        reqs in prop::collection::vec(arb_request(), 1..300),
-    ) {
-        let design = L2Design::StaticSram { user_ways: u, kernel_ways: k };
-        let mut l2 = MobileL2::new(design, L2BaseParams::default()).expect("valid");
-        for (i, r) in reqs.iter().enumerate() {
-            l2.request(r, (i as u64 + 1) * 10);
-        }
-        prop_assert_eq!(l2.stats().cross_evictions, [0, 0]);
-        prop_assert_eq!(l2.segment_ways(Mode::User), u);
-        prop_assert_eq!(l2.segment_ways(Mode::Kernel), k);
-    }
-
-    /// Dynamic designs keep the two segments disjoint and within budget
-    /// at every timeline point.
-    #[test]
-    fn dynamic_allocation_bounds(
-        reqs in prop::collection::vec(arb_request(), 200..800),
-    ) {
-        let design = L2Design::DynamicStt {
-            max_ways: 8,
-            min_ways: 1,
-            user_retention: RetentionClass::HundredMillis,
-            kernel_retention: RetentionClass::TenMillis,
-            refresh: RefreshPolicy::InvalidateOnExpiry,
-            epoch_cycles: 5_000,
-        };
-        let mut l2 = MobileL2::new(design, L2BaseParams::default()).expect("valid");
-        for (i, r) in reqs.iter().enumerate() {
-            l2.request(r, (i as u64 + 1) * 100);
-        }
-        for sample in l2.timeline() {
-            prop_assert!(sample.user_ways >= 1);
-            prop_assert!(sample.kernel_ways >= 1);
-            prop_assert!(sample.user_ways + sample.kernel_ways <= 8);
-        }
-    }
-
-    /// The engine's responses are a pure function of the request history:
-    /// replaying the same stream gives identical state.
-    #[test]
-    fn engine_is_deterministic(
-        design in arb_design(),
-        reqs in prop::collection::vec(arb_request(), 1..200),
-    ) {
-        let run = || {
-            let mut l2 = MobileL2::new(design, L2BaseParams::default()).expect("valid");
-            let mut hits = 0u64;
-            for (i, r) in reqs.iter().enumerate() {
-                if l2.request(r, (i as u64 + 1) * 7).hit {
-                    hits += 1;
-                }
+/// For every design: accounting identities hold after an arbitrary
+/// request stream (hits+misses = requests, misses = DRAM reads,
+/// non-negative energy, active ways within physical bounds).
+#[test]
+fn engine_invariants() {
+    check(
+        Config::cases(32),
+        |rng| (arb_design(rng), rng.vec(1, 400, arb_request)),
+        |(design, reqs)| {
+            let mut l2 = MobileL2::new(*design, L2BaseParams::default()).expect("valid design");
+            let mut now = 0u64;
+            for r in reqs {
+                now += 50;
+                let resp = l2.request(r, now);
+                require!(resp.latency_cycles >= 1);
+                require_eq!(resp.dram_read, !resp.hit);
             }
-            l2.finalize(reqs.len() as u64 * 7 + 1);
-            (hits, l2.energy().total().pj().to_bits(), l2.active_ways())
-        };
-        prop_assert_eq!(run(), run());
-    }
+            l2.finalize(now + 1);
+
+            let stats = l2.stats();
+            require_eq!(stats.accesses(), reqs.len() as u64);
+            require_eq!(stats.hits() + stats.misses(), reqs.len() as u64);
+            require_eq!(l2.traffic().dram_reads, stats.misses());
+
+            let e = l2.energy();
+            require!(e.total().pj() >= 0.0);
+            require!(e.leakage.pj() > 0.0, "time passed, leakage must accrue");
+
+            let active = l2.active_ways();
+            require!(active >= 1 && active <= design.physical_ways());
+            Ok(())
+        },
+    );
+}
+
+/// Partitioned designs never report cross-mode evictions and their
+/// per-mode traffic adds up.
+#[test]
+fn partitioned_designs_have_no_interference() {
+    check(
+        Config::cases(32),
+        |rng| {
+            (
+                rng.range_u32(1, 9),
+                rng.range_u32(1, 9),
+                rng.vec(1, 300, arb_request),
+            )
+        },
+        |(u, k, reqs)| {
+            let design = L2Design::StaticSram {
+                user_ways: *u,
+                kernel_ways: *k,
+            };
+            let mut l2 = MobileL2::new(design, L2BaseParams::default()).expect("valid");
+            for (i, r) in reqs.iter().enumerate() {
+                l2.request(r, (i as u64 + 1) * 10);
+            }
+            require_eq!(l2.stats().cross_evictions, [0, 0]);
+            require_eq!(l2.segment_ways(Mode::User), *u);
+            require_eq!(l2.segment_ways(Mode::Kernel), *k);
+            Ok(())
+        },
+    );
+}
+
+/// Dynamic designs keep the two segments disjoint and within budget at
+/// every timeline point.
+#[test]
+fn dynamic_allocation_bounds() {
+    check(
+        Config::cases(32),
+        |rng| rng.vec(200, 800, arb_request),
+        |reqs| {
+            let design = L2Design::DynamicStt {
+                max_ways: 8,
+                min_ways: 1,
+                user_retention: RetentionClass::HundredMillis,
+                kernel_retention: RetentionClass::TenMillis,
+                refresh: RefreshPolicy::InvalidateOnExpiry,
+                epoch_cycles: 5_000,
+            };
+            let mut l2 = MobileL2::new(design, L2BaseParams::default()).expect("valid");
+            for (i, r) in reqs.iter().enumerate() {
+                l2.request(r, (i as u64 + 1) * 100);
+            }
+            for sample in l2.timeline() {
+                require!(sample.user_ways >= 1);
+                require!(sample.kernel_ways >= 1);
+                require!(sample.user_ways + sample.kernel_ways <= 8);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The engine's responses are a pure function of the request history:
+/// replaying the same stream gives identical state.
+#[test]
+fn engine_is_deterministic() {
+    check(
+        Config::cases(32),
+        |rng| (arb_design(rng), rng.vec(1, 200, arb_request)),
+        |(design, reqs)| {
+            let run = || {
+                let mut l2 = MobileL2::new(*design, L2BaseParams::default()).expect("valid");
+                let mut hits = 0u64;
+                for (i, r) in reqs.iter().enumerate() {
+                    if l2.request(r, (i as u64 + 1) * 7).hit {
+                        hits += 1;
+                    }
+                }
+                l2.finalize(reqs.len() as u64 * 7 + 1);
+                (hits, l2.energy().total().pj().to_bits(), l2.active_ways())
+            };
+            require_eq!(run(), run());
+            Ok(())
+        },
+    );
 }

@@ -4,29 +4,34 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [F1|F2|F3|F4|F5|T2|F6|F7|F8|A1..A7 ...]
+//! repro [--quick] [--jobs N] [F1|F2|F3|F4|F5|T2|F6|F7|F8|A1..A7 ...]
 //! ```
 //!
 //! With no experiment ids, runs the whole suite (this is how
 //! `EXPERIMENTS.md` is produced). `--quick` uses short traces (CI scale);
-//! the default is the full scale used in `EXPERIMENTS.md`.
+//! the default is the full scale used in `EXPERIMENTS.md`. `--jobs N`
+//! shards the independent simulations of each experiment over `N`
+//! threads (default: all available cores); the output is bit-identical
+//! for every `N`.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use moca_sim::experiments::{self, ExperimentResult};
+use moca_sim::parallel::Jobs;
 use moca_sim::workloads::Scale;
 use moca_sim::SystemConfig;
 
-fn print_header(scale: Scale) {
+fn print_header(scale: Scale, jobs: Jobs) {
     println!("# moca reproduction run");
     println!();
     println!(
-        "scale: {:?} ({} refs/app; sweeps {} refs/app), seed {:#x}",
+        "scale: {:?} ({} refs/app; sweeps {} refs/app), seed {:#x}, jobs {}",
         scale,
         scale.refs(),
         scale.sweep_refs(),
-        moca_sim::EXPERIMENT_SEED
+        moca_sim::EXPERIMENT_SEED,
+        jobs
     );
     println!();
     println!("## T1 — system configuration");
@@ -40,21 +45,68 @@ fn print_header(scale: Scale) {
     println!();
 }
 
+/// Parses `--jobs N` / `--jobs=N` out of `args`. Returns an error string
+/// for a missing or invalid value.
+fn parse_jobs(args: &[String]) -> Result<Jobs, String> {
+    let mut jobs = Jobs::available();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--jobs" {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--jobs requires a value".to_string())?;
+            jobs = v
+                .parse()
+                .map_err(|e| format!("invalid --jobs value {v:?}: {e}"))?;
+            i += 2;
+            continue;
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = v
+                .parse()
+                .map_err(|e| format!("invalid --jobs value {v:?}: {e}"))?;
+        }
+        i += 1;
+    }
+    Ok(jobs)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let jobs = match parse_jobs(&args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut skip_next = false;
+    let ids: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--jobs" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
     let scale = if quick { Scale::Quick } else { Scale::Full };
 
-    print_header(scale);
+    print_header(scale, jobs);
 
     let start = Instant::now();
     let results: Vec<ExperimentResult> = if ids.is_empty() {
-        experiments::all(scale)
+        experiments::all(scale, jobs)
     } else {
         let mut out = Vec::new();
         for id in &ids {
-            match experiments::by_id(id, scale) {
+            match experiments::by_id(id, scale, jobs) {
                 Some(r) => out.push(r),
                 None => {
                     eprintln!("unknown experiment id: {id}");

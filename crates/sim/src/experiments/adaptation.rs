@@ -9,6 +9,7 @@ use moca_core::L2Design;
 use moca_trace::AppProfile;
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::{parallel_map, Jobs};
 use crate::table::Table;
 use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
 
@@ -18,14 +19,17 @@ pub const TIMELINE_APPS: [&str; 2] = ["browser", "camera"];
 /// Timeline samples shown per app.
 const SAMPLES: usize = 12;
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the timeline simulations over `jobs`
+/// threads.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let mut table = Table::new(vec!["app", "time (ms)", "user ways", "kernel ways", "total"]);
     let mut mean_ways = Vec::new();
     let mut changes = Vec::new();
-    for name in TIMELINE_APPS {
+    let runs = parallel_map(jobs, TIMELINE_APPS.to_vec(), |name| {
         let app = AppProfile::by_name(name).expect("known app");
-        let r = run_app(&app, L2Design::dynamic_default(), scale.refs(), EXPERIMENT_SEED);
+        run_app(&app, L2Design::dynamic_default(), scale.refs(), EXPERIMENT_SEED)
+    });
+    for (name, r) in TIMELINE_APPS.iter().zip(&runs) {
         mean_ways.push(r.mean_active_ways);
         changes.push(r.timeline.len().saturating_sub(1));
         let step = (r.timeline.len() / SAMPLES).max(1);
@@ -76,7 +80,7 @@ mod tests {
 
     #[test]
     fn dynamic_adapts() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("browser"));
     }

@@ -11,6 +11,7 @@ use moca_energy::{bank_area_mm2, RetentionClass, Technology};
 
 use crate::experiments::matrix::headline_designs;
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::Jobs;
 use crate::table::Table;
 use crate::workloads::Scale;
 
@@ -34,9 +35,9 @@ fn physical_bank(design: &L2Design) -> Technology {
     }
 }
 
-/// Runs the experiment (pure computation; `scale` is unused but kept for
-/// interface uniformity).
-pub fn run(_scale: Scale) -> ExperimentResult {
+/// Runs the experiment (pure computation; `scale` and `jobs` are unused
+/// but kept for interface uniformity).
+pub fn run(_scale: Scale, _jobs: Jobs) -> ExperimentResult {
     let mut table = Table::new(vec![
         "design",
         "physical array",
@@ -113,7 +114,7 @@ mod tests {
 
     #[test]
     fn area_claims_hold() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::SERIAL);
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("STT-RAM"));
         assert!(r.table.contains("SRAM 6T"));
@@ -121,7 +122,7 @@ mod tests {
 
     #[test]
     fn baseline_row_is_unity() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::SERIAL);
         assert!(r.table.contains("1.00x"));
     }
 }

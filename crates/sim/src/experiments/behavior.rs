@@ -12,6 +12,7 @@ use moca_energy::RetentionClass;
 use moca_trace::{AppProfile, Mode};
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::{parallel_map, Jobs};
 use crate::table::{pct, Table};
 use crate::workloads::{run_app_with_behavior, Scale, EXPERIMENT_SEED};
 
@@ -25,8 +26,9 @@ fn fmt_cycles_ms(c: Option<u64>) -> String {
     }
 }
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the per-app simulations over `jobs`
+/// threads.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let design = L2Design::StaticSram {
         user_ways: 6,
         kernel_ways: 4,
@@ -40,8 +42,11 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "recommended retention",
     ]);
     let mut recs: Vec<(RetentionClass, RetentionClass)> = Vec::new();
-    for app in AppProfile::suite() {
+    let runs = parallel_map(jobs, AppProfile::suite(), |app| {
         let r = run_app_with_behavior(&app, design, scale.refs(), EXPERIMENT_SEED);
+        (app, r)
+    });
+    for (app, r) in runs {
         let mut row_rec = (RetentionClass::TenYears, RetentionClass::TenYears);
         for mode in Mode::ALL {
             let b = r.behavior(mode);
@@ -107,7 +112,7 @@ mod tests {
 
     #[test]
     fn behaviour_supports_multi_retention() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("kernel"));
     }

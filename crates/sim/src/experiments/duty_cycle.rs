@@ -12,6 +12,7 @@ use moca_trace::{AppProfile, TraceGenerator};
 
 use crate::config::SystemConfig;
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::{parallel_map, Jobs};
 use crate::system::System;
 use crate::table::{pct, Table};
 use crate::workloads::{Scale, EXPERIMENT_SEED};
@@ -48,8 +49,9 @@ fn run_at_duty(design: L2Design, refs: usize, duty: f64) -> crate::metrics::SimR
     sys.finish()
 }
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the duty-cycle × design grid over
+/// `jobs` threads.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let refs = scale.sweep_refs();
     let duties = [1.0, 0.5, 0.25, 0.10];
     let mut table = Table::new(vec![
@@ -59,10 +61,23 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "dynamic saving",
     ]);
     let mut static_savings = Vec::new();
-    for duty in duties {
-        let base = run_at_duty(L2Design::baseline(), refs, duty);
-        let stat = run_at_duty(L2Design::static_default(), refs, duty);
-        let dynamic = run_at_duty(L2Design::dynamic_default(), refs, duty);
+    let cells: Vec<(f64, L2Design)> = duties
+        .iter()
+        .flat_map(|&duty| {
+            [
+                L2Design::baseline(),
+                L2Design::static_default(),
+                L2Design::dynamic_default(),
+            ]
+            .into_iter()
+            .map(move |d| (duty, d))
+        })
+        .collect();
+    let reports = parallel_map(jobs, cells, |(duty, design)| {
+        run_at_duty(design, refs, duty)
+    });
+    for (&duty, row) in duties.iter().zip(reports.chunks(3)) {
+        let (base, stat, dynamic) = (&row[0], &row[1], &row[2]);
         let s_saving = 1.0 - stat.energy_ratio_vs(&base);
         let d_saving = 1.0 - dynamic.energy_ratio_vs(&base);
         static_savings.push(s_saving);
@@ -117,14 +132,14 @@ mod tests {
 
     #[test]
     fn savings_grow_with_idleness() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("10.0%"));
     }
 
     #[test]
     fn duty_table_has_all_rows() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert_eq!(r.table.lines().count(), 2 + 4, "header + rule + 4 duty rows");
     }
 }

@@ -16,6 +16,7 @@ use moca_trace::{AppProfile, TraceGenerator};
 use crate::config::SystemConfig;
 use crate::cpu::InOrderCore;
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::{parallel_map, Jobs};
 use crate::table::{f3, pct, Table};
 use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
 
@@ -57,8 +58,9 @@ fn run_hybrid(app: &AppProfile, refs: usize) -> (f64, f64, f64, u64) {
     )
 }
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the per-app comparison runs over `jobs`
+/// threads.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let refs = scale.sweep_refs();
     let all_stt = L2Design::SharedStt {
         ways: 16,
@@ -76,11 +78,14 @@ pub fn run(scale: Scale) -> ExperimentResult {
     ]);
     let mut norm_gaps = Vec::new();
     let mut shares = Vec::new();
-    for name in APPS {
+    let runs = parallel_map(jobs, APPS.to_vec(), |name| {
         let app = AppProfile::by_name(name).expect("known app");
         let base = run_app(&app, L2Design::baseline(), refs, EXPERIMENT_SEED);
         let stt = run_app(&app, all_stt, refs, EXPERIMENT_SEED);
-        let (hybrid_j, hybrid_cpr, share, migrations) = run_hybrid(&app, refs);
+        let hybrid = run_hybrid(&app, refs);
+        (base, stt, hybrid)
+    });
+    for (name, (base, stt, (hybrid_j, hybrid_cpr, share, migrations))) in APPS.iter().zip(runs) {
         let base_j = base.l2_energy.total().joules();
         let hybrid_norm = hybrid_j / base_j;
         let stt_norm = stt.energy_ratio_vs(&base);
@@ -142,7 +147,7 @@ mod tests {
 
     #[test]
     fn hybrid_study_claims_hold() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("camera"));
     }

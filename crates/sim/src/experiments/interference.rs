@@ -15,11 +15,13 @@ use moca_core::L2Design;
 use moca_trace::AppProfile;
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::{parallel_map, Jobs};
 use crate::table::{f3, pct, Table};
 use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the shared/isolated run pairs over
+/// `jobs` threads.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let mut table = Table::new(vec![
         "app",
         "shared miss",
@@ -33,9 +35,12 @@ pub fn run(scale: Scale) -> ExperimentResult {
         user_ways: 16,
         kernel_ways: 16,
     };
-    for app in AppProfile::suite() {
+    let pairs = parallel_map(jobs, AppProfile::suite(), |app| {
         let shared = run_app(&app, L2Design::baseline(), scale.refs(), EXPERIMENT_SEED);
         let iso = run_app(&app, isolated, scale.refs(), EXPERIMENT_SEED);
+        (app, shared, iso)
+    });
+    for (app, shared, iso) in pairs {
         let delta = shared.l2_miss_rate() - iso.l2_miss_rate();
         let cross = shared.l2_stats.cross_eviction_share();
         cross_shares.push(cross);
@@ -94,7 +99,7 @@ mod tests {
 
     #[test]
     fn interference_is_visible() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
     }
 }

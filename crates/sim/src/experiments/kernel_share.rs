@@ -10,15 +10,17 @@ use moca_core::L2Design;
 use moca_trace::{AppProfile, Mode};
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::Jobs;
 use crate::table::{pct, Table};
-use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
+use crate::workloads::{run_suite_parallel, Scale, EXPERIMENT_SEED};
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the per-app simulations over `jobs`
+/// threads.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let mut table = Table::new(vec!["app", "raw kernel share", "L2 kernel share", "L2 accesses/1k refs"]);
     let mut l2_shares = Vec::new();
-    for app in AppProfile::suite() {
-        let r = run_app(&app, L2Design::baseline(), scale.refs(), EXPERIMENT_SEED);
+    let reports = run_suite_parallel(L2Design::baseline(), scale.refs(), EXPERIMENT_SEED, jobs);
+    for (app, r) in AppProfile::suite().iter().zip(&reports) {
         let raw = r.l1_stats.mode(Mode::Kernel).accesses() as f64 / r.l1_stats.accesses() as f64;
         let l2 = r.l2_kernel_share();
         let rate = r.l2_stats.accesses() as f64 * 1000.0 / r.refs as f64;
@@ -60,7 +62,7 @@ mod tests {
 
     #[test]
     fn kernel_share_exceeds_forty_percent() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("browser"));
         assert!(r.table.contains("MEAN"));

@@ -7,6 +7,7 @@ use moca_core::L2Design;
 use moca_trace::AppProfile;
 
 use crate::metrics::SimReport;
+use crate::parallel::{parallel_map, Jobs};
 use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
 
 /// The four headline designs of the reproduced evaluation, in table
@@ -54,17 +55,25 @@ impl DesignMatrix {
     }
 }
 
-/// Runs the matrix at the given scale.
-pub fn run_matrix(scale: Scale) -> DesignMatrix {
+/// Runs the matrix at the given scale, sharding the app × design cell
+/// simulations over `jobs` threads.
+///
+/// Every cell is an independent simulation with its own seeded trace
+/// generator, and cells are merged back in (app, design) order — the
+/// matrix is bit-identical for every job count.
+pub fn run_matrix(scale: Scale, jobs: Jobs) -> DesignMatrix {
     let designs = headline_designs();
-    let rows = AppProfile::suite()
+    let apps = AppProfile::suite();
+    let cells: Vec<(AppProfile, L2Design)> = apps
         .iter()
-        .map(|app| {
-            designs
-                .iter()
-                .map(|d| run_app(app, *d, scale.refs(), EXPERIMENT_SEED))
-                .collect()
-        })
+        .flat_map(|app| designs.iter().map(move |d| (app.clone(), *d)))
+        .collect();
+    let reports = parallel_map(jobs, cells, |(app, d)| {
+        run_app(&app, d, scale.refs(), EXPERIMENT_SEED)
+    });
+    let rows = reports
+        .chunks(designs.len())
+        .map(|row| row.to_vec())
         .collect();
     DesignMatrix { designs, rows }
 }

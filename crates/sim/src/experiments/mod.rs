@@ -25,6 +25,7 @@ pub mod sensitivity;
 pub mod static_sweep;
 pub mod temperature;
 
+use crate::parallel::Jobs;
 use crate::workloads::Scale;
 
 /// A paper claim checked against measured data.
@@ -91,50 +92,52 @@ impl ExperimentResult {
 /// Runs the complete experiment suite.
 ///
 /// The design-matrix runs (T2/F6 share them) are executed once and
-/// reused. This is the entry point of the `repro` binary.
-pub fn all(scale: Scale) -> Vec<ExperimentResult> {
-    let m = matrix::run_matrix(scale);
+/// reused. Each experiment shards its independent simulations over
+/// `jobs` threads; output is bit-identical for every job count. This is
+/// the entry point of the `repro` binary.
+pub fn all(scale: Scale, jobs: Jobs) -> Vec<ExperimentResult> {
+    let m = matrix::run_matrix(scale, jobs);
     vec![
-        kernel_share::run(scale),
-        interference::run(scale),
-        static_sweep::run(scale),
-        behavior::run(scale),
-        retention_sweep::run(scale),
+        kernel_share::run(scale, jobs),
+        interference::run(scale, jobs),
+        static_sweep::run(scale, jobs),
+        behavior::run(scale, jobs),
+        retention_sweep::run(scale, jobs),
         energy_table::from_matrix(&m),
         performance::from_matrix(&m),
-        adaptation::run(scale),
-        sensitivity::run(scale),
-        area::run(scale),
-        partition_style::run(scale),
-        hybrid_study::run(scale),
-        duty_cycle::run(scale),
-        prefetch_study::run_experiment(scale),
-        temperature::run(scale),
-        multitask::run(scale),
+        adaptation::run(scale, jobs),
+        sensitivity::run(scale, jobs),
+        area::run(scale, jobs),
+        partition_style::run(scale, jobs),
+        hybrid_study::run(scale, jobs),
+        duty_cycle::run(scale, jobs),
+        prefetch_study::run_experiment(scale, jobs),
+        temperature::run(scale, jobs),
+        multitask::run(scale, jobs),
     ]
 }
 
 /// Looks up and runs a single experiment by id (`"F1"`, `"T2"`, ...).
 ///
 /// Returns `None` for an unknown id.
-pub fn by_id(id: &str, scale: Scale) -> Option<ExperimentResult> {
+pub fn by_id(id: &str, scale: Scale, jobs: Jobs) -> Option<ExperimentResult> {
     match id.to_ascii_uppercase().as_str() {
-        "F1" => Some(kernel_share::run(scale)),
-        "F2" => Some(interference::run(scale)),
-        "F3" => Some(static_sweep::run(scale)),
-        "F4" => Some(behavior::run(scale)),
-        "F5" => Some(retention_sweep::run(scale)),
-        "T2" => Some(energy_table::from_matrix(&matrix::run_matrix(scale))),
-        "F6" => Some(performance::from_matrix(&matrix::run_matrix(scale))),
-        "F7" => Some(adaptation::run(scale)),
-        "F8" => Some(sensitivity::run(scale)),
-        "A1" => Some(area::run(scale)),
-        "A2" => Some(partition_style::run(scale)),
-        "A3" => Some(hybrid_study::run(scale)),
-        "A4" => Some(duty_cycle::run(scale)),
-        "A5" => Some(prefetch_study::run_experiment(scale)),
-        "A6" => Some(temperature::run(scale)),
-        "A7" => Some(multitask::run(scale)),
+        "F1" => Some(kernel_share::run(scale, jobs)),
+        "F2" => Some(interference::run(scale, jobs)),
+        "F3" => Some(static_sweep::run(scale, jobs)),
+        "F4" => Some(behavior::run(scale, jobs)),
+        "F5" => Some(retention_sweep::run(scale, jobs)),
+        "T2" => Some(energy_table::from_matrix(&matrix::run_matrix(scale, jobs))),
+        "F6" => Some(performance::from_matrix(&matrix::run_matrix(scale, jobs))),
+        "F7" => Some(adaptation::run(scale, jobs)),
+        "F8" => Some(sensitivity::run(scale, jobs)),
+        "A1" => Some(area::run(scale, jobs)),
+        "A2" => Some(partition_style::run(scale, jobs)),
+        "A3" => Some(hybrid_study::run(scale, jobs)),
+        "A4" => Some(duty_cycle::run(scale, jobs)),
+        "A5" => Some(prefetch_study::run_experiment(scale, jobs)),
+        "A6" => Some(temperature::run(scale, jobs)),
+        "A7" => Some(multitask::run(scale, jobs)),
         _ => None,
     }
 }
@@ -176,6 +179,6 @@ mod tests {
 
     #[test]
     fn by_id_rejects_unknown() {
-        assert!(by_id("F99", Scale::Quick).is_none());
+        assert!(by_id("F99", Scale::Quick, Jobs::SERIAL).is_none());
     }
 }

@@ -14,6 +14,7 @@ use moca_trace::{AppProfile, MultiProgrammed};
 use crate::config::SystemConfig;
 use crate::experiments::{ClaimCheck, ExperimentResult};
 use crate::metrics::SimReport;
+use crate::parallel::{parallel_map, Jobs};
 use crate::system::System;
 use crate::table::{f3, pct, Table};
 use crate::workloads::{Scale, EXPERIMENT_SEED};
@@ -39,8 +40,9 @@ fn run_pair(a: &str, b: &str, design: L2Design, refs: usize) -> SimReport {
     sys.finish()
 }
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the pair × design grid over `jobs`
+/// threads.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let refs = scale.sweep_refs() * 2;
     let mut table = Table::new(vec![
         "pair",
@@ -53,10 +55,23 @@ pub fn run(scale: Scale) -> ExperimentResult {
     let mut savings = Vec::new();
     let mut slowdowns = Vec::new();
     let mut kernel_shares = Vec::new();
-    for (a, b) in PAIRS {
-        let base = run_pair(a, b, L2Design::baseline(), refs);
-        let stat = run_pair(a, b, L2Design::static_default(), refs);
-        let dynamic = run_pair(a, b, L2Design::dynamic_default(), refs);
+    let cells: Vec<((&str, &str), L2Design)> = PAIRS
+        .iter()
+        .flat_map(|&pair| {
+            [
+                L2Design::baseline(),
+                L2Design::static_default(),
+                L2Design::dynamic_default(),
+            ]
+            .into_iter()
+            .map(move |d| (pair, d))
+        })
+        .collect();
+    let reports = parallel_map(jobs, cells, |((a, b), design)| {
+        run_pair(a, b, design, refs)
+    });
+    for (&(a, b), row) in PAIRS.iter().zip(reports.chunks(3)) {
+        let (base, stat, dynamic) = (&row[0], &row[1], &row[2]);
         let saving = 1.0 - stat.energy_ratio_vs(&base);
         let slow = stat.slowdown_vs(&base);
         savings.push(saving);
@@ -119,7 +134,7 @@ mod tests {
 
     #[test]
     fn designs_survive_multitasking() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("browser+music"));
     }

@@ -14,6 +14,7 @@ use moca_trace::{AppProfile, TraceGenerator};
 use crate::config::SystemConfig;
 use crate::cpu::InOrderCore;
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::{parallel_map, Jobs};
 use crate::table::{f3, Table};
 use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
 
@@ -53,8 +54,9 @@ fn run_set_partitioned(app: &AppProfile, refs: usize) -> (f64, f64, u64) {
     (miss, cpr, core.cycle())
 }
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the per-app comparison runs over `jobs`
+/// threads.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let refs = scale.sweep_refs();
     let mut table = Table::new(vec![
         "app",
@@ -69,11 +71,14 @@ pub fn run(scale: Scale) -> ExperimentResult {
     };
     let mut way_miss_sum = 0.0;
     let mut set_miss_sum = 0.0;
-    for name in APPS {
+    let runs = parallel_map(jobs, APPS.to_vec(), |name| {
         let app = AppProfile::by_name(name).expect("known app");
         let base = run_app(&app, L2Design::baseline(), refs, EXPERIMENT_SEED);
         let way = run_app(&app, way_design, refs, EXPERIMENT_SEED);
-        let (set_miss, set_cpr, _) = run_set_partitioned(&app, refs);
+        let set = run_set_partitioned(&app, refs);
+        (base, way, set)
+    });
+    for (name, (base, way, (set_miss, set_cpr, _))) in APPS.iter().zip(runs) {
         way_miss_sum += way.l2_miss_rate();
         set_miss_sum += set_miss;
         table.row(vec![
@@ -113,7 +118,7 @@ mod tests {
 
     #[test]
     fn partition_styles_are_comparable() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("browser"));
     }

@@ -13,6 +13,7 @@ use moca_trace::AppProfile;
 use crate::config::SystemConfig;
 use crate::experiments::{ClaimCheck, ExperimentResult};
 use crate::metrics::SimReport;
+use crate::parallel::{parallel_map, Jobs};
 use crate::system::System;
 use crate::table::{f3, Table};
 use crate::workloads::{Scale, EXPERIMENT_SEED};
@@ -30,8 +31,9 @@ fn run(app: &AppProfile, design: L2Design, refs: usize, prefetch: bool) -> SimRe
     sys.finish()
 }
 
-/// Runs the experiment.
-pub fn run_experiment(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the app × design on/off pairs over
+/// `jobs` threads.
+pub fn run_experiment(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let refs = scale.sweep_refs();
     let mut table = Table::new(vec![
         "app / design",
@@ -42,23 +44,32 @@ pub fn run_experiment(scale: Scale) -> ExperimentResult {
     ]);
     let mut speedups = Vec::new();
     let mut miss_drops = Vec::new();
-    for name in APPS {
+    let cells: Vec<(&str, L2Design)> = APPS
+        .iter()
+        .flat_map(|&name| {
+            [L2Design::baseline(), L2Design::static_default()]
+                .into_iter()
+                .map(move |design| (name, design))
+        })
+        .collect();
+    let pairs = parallel_map(jobs, cells, |(name, design)| {
         let app = AppProfile::by_name(name).expect("known app");
-        for design in [L2Design::baseline(), L2Design::static_default()] {
-            let off = run(&app, design, refs, false);
-            let on = run(&app, design, refs, true);
-            let speedup = off.cpr() / on.cpr();
-            let energy_ratio = on.l2_energy.normalized_to(&off.l2_energy);
-            speedups.push(speedup);
-            miss_drops.push(off.l2_demand_miss_rate() - on.l2_demand_miss_rate());
-            table.row(vec![
-                format!("{name} / {}", design.label()),
-                f3(off.l2_demand_miss_rate()),
-                f3(on.l2_demand_miss_rate()),
-                f3(speedup),
-                f3(energy_ratio),
-            ]);
-        }
+        let off = run(&app, design, refs, false);
+        let on = run(&app, design, refs, true);
+        (name, design, off, on)
+    });
+    for (name, design, off, on) in pairs {
+        let speedup = off.cpr() / on.cpr();
+        let energy_ratio = on.l2_energy.normalized_to(&off.l2_energy);
+        speedups.push(speedup);
+        miss_drops.push(off.l2_demand_miss_rate() - on.l2_demand_miss_rate());
+        table.row(vec![
+            format!("{name} / {}", design.label()),
+            f3(off.l2_demand_miss_rate()),
+            f3(on.l2_demand_miss_rate()),
+            f3(speedup),
+            f3(energy_ratio),
+        ]);
     }
     let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
     let mean_drop = miss_drops.iter().sum::<f64>() / miss_drops.len() as f64;
@@ -100,7 +111,7 @@ mod tests {
 
     #[test]
     fn prefetch_helps_streaming_apps() {
-        let r = run_experiment(Scale::Quick);
+        let r = run_experiment(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("video"));
     }

@@ -13,6 +13,7 @@ use moca_energy::RetentionClass;
 use moca_trace::AppProfile;
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::{parallel_map, Jobs};
 use crate::table::{f3, Table};
 use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
 
@@ -20,23 +21,21 @@ use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
 /// policies × apps runs).
 pub const SWEEP_APPS: [&str; 3] = ["browser", "video", "music"];
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the (retention, policy) × app grid over
+/// `jobs` threads.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let refs = scale.sweep_refs();
     let apps: Vec<AppProfile> = SWEEP_APPS
         .iter()
         .map(|n| AppProfile::by_name(n).expect("known app"))
         .collect();
 
-    let baseline_energy: Vec<f64> = apps
-        .iter()
-        .map(|a| {
-            run_app(a, L2Design::baseline(), refs, EXPERIMENT_SEED)
-                .l2_energy
-                .total()
-                .joules()
-        })
-        .collect();
+    let baseline_energy: Vec<f64> = parallel_map(jobs, apps.clone(), |a| {
+        run_app(&a, L2Design::baseline(), refs, EXPERIMENT_SEED)
+            .l2_energy
+            .total()
+            .joules()
+    });
 
     let mut table = Table::new(vec![
         "retention (both segs)",
@@ -47,25 +46,41 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "refresh/1k L2 acc",
     ]);
 
-    let mut norm_by_class: Vec<(RetentionClass, f64)> = Vec::new();
+    // Enumerate the sweep grid first, then shard the independent
+    // (config × app) simulations; rows are rebuilt in grid order below.
+    let mut configs: Vec<(RetentionClass, RefreshPolicy)> = Vec::new();
     for rc in RetentionClass::SWEEP {
         for policy in [RefreshPolicy::InvalidateOnExpiry, RefreshPolicy::Refresh] {
             if !rc.is_volatile() && policy == RefreshPolicy::Refresh {
                 continue; // refresh of a non-volatile class never fires
             }
-            let design = L2Design::StaticMultiRetention {
-                user_ways: 6,
-                kernel_ways: 4,
-                user_retention: rc,
-                kernel_retention: rc,
-                refresh: policy,
-            };
+            configs.push((rc, policy));
+        }
+    }
+    let cells: Vec<((RetentionClass, RefreshPolicy), AppProfile)> = configs
+        .iter()
+        .flat_map(|cfg| apps.iter().map(move |a| (*cfg, a.clone())))
+        .collect();
+    let reports = parallel_map(jobs, cells, |((rc, policy), app)| {
+        let design = L2Design::StaticMultiRetention {
+            user_ways: 6,
+            kernel_ways: 4,
+            user_retention: rc,
+            kernel_retention: rc,
+            refresh: policy,
+        };
+        run_app(&app, design, refs, EXPERIMENT_SEED)
+    });
+
+    let mut norm_by_class: Vec<(RetentionClass, f64)> = Vec::new();
+    for ((rc, policy), row) in configs.iter().zip(reports.chunks(apps.len())) {
+        let (rc, policy) = (*rc, *policy);
+        {
             let mut miss = 0.0;
             let mut norm = 0.0;
             let mut expired = 0.0;
             let mut refreshes = 0.0;
-            for (i, app) in apps.iter().enumerate() {
-                let r = run_app(app, design, refs, EXPERIMENT_SEED);
+            for (i, r) in row.iter().enumerate() {
                 miss += r.l2_miss_rate();
                 norm += r.l2_energy.total().joules() / baseline_energy[i];
                 let acc = r.l2_stats.accesses().max(1) as f64;
@@ -140,7 +155,7 @@ mod tests {
 
     #[test]
     fn sweep_has_volatile_optimum() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("10yr"));
         assert!(r.table.contains("refresh"));

@@ -15,6 +15,7 @@ use moca_energy::RetentionClass;
 use moca_trace::AppProfile;
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::{parallel_map, Jobs};
 use crate::table::{f3, Table};
 use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
 
@@ -32,11 +33,68 @@ fn dynamic_with(epoch: u64, refresh: RefreshPolicy, kernel_retention: RetentionC
     }
 }
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the ablation variants over `jobs`
+/// threads.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let app = AppProfile::by_name(ABLATION_APP).expect("known app");
     let refs = scale.sweep_refs() * 2;
-    let baseline = run_app(&app, L2Design::baseline(), refs, EXPERIMENT_SEED);
+
+    // Enumerate every variant up front (table order), then shard the
+    // simulations; the baseline rides along as the first work item.
+    let mut variants: Vec<(String, L2Design)> = Vec::new();
+    // 1. Epoch length.
+    for epoch in [100_000u64, 500_000, 2_000_000, 8_000_000] {
+        variants.push((
+            format!("epoch {}k cycles", epoch / 1000),
+            dynamic_with(epoch, RefreshPolicy::InvalidateOnExpiry, RetentionClass::TenMillis),
+        ));
+    }
+    // 2. Refresh policy.
+    variants.push((
+        "policy invalidate-on-expiry".into(),
+        dynamic_with(500_000, RefreshPolicy::InvalidateOnExpiry, RetentionClass::TenMillis),
+    ));
+    variants.push((
+        "policy refresh".into(),
+        dynamic_with(500_000, RefreshPolicy::Refresh, RetentionClass::TenMillis),
+    ));
+    // 3. Technology x policy 2x2: separates the benefit of dynamic
+    // sizing from the benefit of the STT-RAM technology swap.
+    variants.push((
+        "2x2: SRAM dynamic".into(),
+        L2Design::DynamicSram {
+            max_ways: 16,
+            min_ways: 1,
+            epoch_cycles: 500_000,
+        },
+    ));
+    variants.push((
+        "2x2: SRAM static 6u4k".into(),
+        L2Design::StaticSram {
+            user_ways: 6,
+            kernel_ways: 4,
+        },
+    ));
+    variants.push(("2x2: STT static (default)".into(), L2Design::static_default()));
+    variants.push(("2x2: STT dynamic (default)".into(), L2Design::dynamic_default()));
+    // 4. Kernel retention.
+    for rc in [
+        RetentionClass::OneSecond,
+        RetentionClass::HundredMillis,
+        RetentionClass::TenMillis,
+    ] {
+        variants.push((
+            format!("kernel retention {}", rc.label()),
+            dynamic_with(500_000, RefreshPolicy::InvalidateOnExpiry, rc),
+        ));
+    }
+
+    let mut work: Vec<L2Design> = vec![L2Design::baseline()];
+    work.extend(variants.iter().map(|(_, d)| *d));
+    let mut reports = parallel_map(jobs, work, |design| {
+        run_app(&app, design, refs, EXPERIMENT_SEED)
+    });
+    let baseline = reports.remove(0);
 
     let mut table = Table::new(vec![
         "variant",
@@ -45,12 +103,12 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "mean ways",
         "expired/1k L2 acc",
     ]);
-    let mut row = |label: String, design: L2Design| -> (f64, f64) {
-        let r = run_app(&app, design, refs, EXPERIMENT_SEED);
+    let mut results: Vec<(f64, f64)> = Vec::new();
+    for ((label, _), r) in variants.iter().zip(&reports) {
         let ne = r.energy_ratio_vs(&baseline);
         let slow = r.slowdown_vs(&baseline);
         table.row(vec![
-            label,
+            label.clone(),
             f3(ne),
             f3(slow),
             format!("{:.1}", r.mean_active_ways),
@@ -59,62 +117,14 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 r.expiry.expired as f64 * 1000.0 / r.l2_stats.accesses().max(1) as f64
             ),
         ]);
-        (ne, slow)
-    };
-
-    // 1. Epoch length.
-    let mut epoch_results = Vec::new();
-    for epoch in [100_000u64, 500_000, 2_000_000, 8_000_000] {
-        let label = format!("epoch {}k cycles", epoch / 1000);
-        epoch_results.push(row(
-            label,
-            dynamic_with(epoch, RefreshPolicy::InvalidateOnExpiry, RetentionClass::TenMillis),
-        ));
+        results.push((ne, slow));
     }
-
-    // 2. Refresh policy.
-    let (_inv_e, _) = row(
-        "policy invalidate-on-expiry".into(),
-        dynamic_with(500_000, RefreshPolicy::InvalidateOnExpiry, RetentionClass::TenMillis),
-    );
-    let (_ref_e, _) = row(
-        "policy refresh".into(),
-        dynamic_with(500_000, RefreshPolicy::Refresh, RetentionClass::TenMillis),
-    );
-
-    // 3. Technology x policy 2x2: separates the benefit of dynamic
-    // sizing from the benefit of the STT-RAM technology swap.
-    let (sram_dyn_e, _) = row(
-        "2x2: SRAM dynamic".into(),
-        L2Design::DynamicSram {
-            max_ways: 16,
-            min_ways: 1,
-            epoch_cycles: 500_000,
-        },
-    );
-    let (sram_static_e, _) = row(
-        "2x2: SRAM static 6u4k".into(),
-        L2Design::StaticSram {
-            user_ways: 6,
-            kernel_ways: 4,
-        },
-    );
-    let (stt_static_e, _) = row("2x2: STT static (default)".into(), L2Design::static_default());
-    let (stt_dyn_e, _) = row("2x2: STT dynamic (default)".into(), L2Design::dynamic_default());
-
-    // 4. Kernel retention.
-    let mut retention_results = Vec::new();
-    for rc in [
-        RetentionClass::OneSecond,
-        RetentionClass::HundredMillis,
-        RetentionClass::TenMillis,
-    ] {
-        let label = format!("kernel retention {}", rc.label());
-        retention_results.push(row(
-            label,
-            dynamic_with(500_000, RefreshPolicy::InvalidateOnExpiry, rc),
-        ));
-    }
+    let epoch_results = &results[0..4];
+    let (sram_dyn_e, _) = results[6];
+    let (sram_static_e, _) = results[7];
+    let (stt_static_e, _) = results[8];
+    let (stt_dyn_e, _) = results[9];
+    let retention_results = &results[10..13];
 
     // Claims: every variant keeps the headline shape (large savings at
     // modest slowdown) — the techniques are not knife-edge tuned — and
@@ -122,12 +132,12 @@ pub fn run(scale: Scale) -> ExperimentResult {
     // and dynamic sizing helps within each technology.
     let worst_energy = epoch_results
         .iter()
-        .chain(&retention_results)
+        .chain(retention_results)
         .map(|&(e, _)| e)
         .fold(0.0f64, f64::max);
     let worst_slow = epoch_results
         .iter()
-        .chain(&retention_results)
+        .chain(retention_results)
         .map(|&(_, s)| s)
         .fold(0.0f64, f64::max);
     let claims = vec![
@@ -171,7 +181,7 @@ mod tests {
 
     #[test]
     fn ablations_are_robust() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("epoch"));
         assert!(r.table.contains("refresh"));

@@ -11,6 +11,7 @@ use moca_core::{find_min_partition, L2Design};
 use moca_trace::AppProfile;
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::{parallel_map, Jobs};
 use crate::table::{f3, Table};
 use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
 
@@ -20,8 +21,13 @@ pub const SEARCH_APPS: [&str; 4] = ["browser", "game", "video", "music"];
 /// Absolute miss-rate budget over the baseline.
 pub const MISS_BUDGET: f64 = 0.02;
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the per-app sizing searches over
+/// `jobs` threads.
+///
+/// Each app's search is inherently sequential (it early-exits at the
+/// first in-budget configuration), so the parallel axis is the app: four
+/// independent searches, merged in `SEARCH_APPS` order.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let refs = scale.sweep_refs();
     let mut table = Table::new(vec![
         "app",
@@ -32,10 +38,10 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "configs tried",
     ]);
     let mut totals = Vec::new();
-    for name in SEARCH_APPS {
+    let choices = parallel_map(jobs, SEARCH_APPS.to_vec(), |name| {
         let app = AppProfile::by_name(name).expect("known app");
         let baseline = run_app(&app, L2Design::baseline(), refs, EXPERIMENT_SEED);
-        let choice = find_min_partition(12, 8, baseline.l2_miss_rate(), MISS_BUDGET, |u, k| {
+        find_min_partition(12, 8, baseline.l2_miss_rate(), MISS_BUDGET, |u, k| {
             run_app(
                 &app,
                 L2Design::StaticSram {
@@ -46,7 +52,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 EXPERIMENT_SEED,
             )
             .l2_miss_rate()
-        });
+        })
+    });
+    for (name, choice) in SEARCH_APPS.iter().zip(&choices) {
         totals.push(choice.total_ways());
         table.row(vec![
             name.to_string(),
@@ -87,7 +95,7 @@ mod tests {
 
     #[test]
     fn search_finds_shrunk_partitions() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("browser"));
     }

@@ -13,6 +13,7 @@ use moca_trace::{AppProfile, TraceGenerator};
 use moca_cache::L1Pair;
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::parallel::{parallel_map, Jobs};
 use crate::table::{pct, Table};
 use crate::workloads::{Scale, EXPERIMENT_SEED};
 
@@ -48,8 +49,9 @@ fn run_at(design: L2Design, temp_c: f64, refs: usize) -> (f64, f64) {
     (e.total().joules(), e.leakage_fraction())
 }
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentResult {
+/// Runs the experiment, sharding the temperature × design grid over
+/// `jobs` threads.
+pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let refs = scale.sweep_refs();
     let mut table = Table::new(vec![
         "die temperature",
@@ -57,9 +59,18 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "static MR saving",
     ]);
     let mut savings = Vec::new();
-    for c in SWEEP_C {
-        let (base_j, base_leak) = run_at(L2Design::baseline(), c, refs);
-        let (stat_j, _) = run_at(L2Design::static_default(), c, refs);
+    let cells: Vec<(f64, L2Design)> = SWEEP_C
+        .iter()
+        .flat_map(|&c| {
+            [L2Design::baseline(), L2Design::static_default()]
+                .into_iter()
+                .map(move |d| (c, d))
+        })
+        .collect();
+    let results = parallel_map(jobs, cells, |(c, design)| run_at(design, c, refs));
+    for (&c, row) in SWEEP_C.iter().zip(results.chunks(2)) {
+        let (base_j, base_leak) = row[0];
+        let (stat_j, _) = row[1];
         let saving = 1.0 - stat_j / base_j;
         savings.push(saving);
         table.row(vec![format!("{c:.0} C"), pct(base_leak), pct(saving)]);
@@ -96,7 +107,7 @@ mod tests {
 
     #[test]
     fn savings_grow_with_temperature() {
-        let r = run(Scale::Quick);
+        let r = run(Scale::Quick, Jobs::available());
         assert!(r.passed(), "claims failed:\n{}", r.render());
         assert!(r.table.contains("110 C"));
     }

@@ -4,8 +4,9 @@
 //! support, L1 pair, one of the paper's L2 designs, flat or row-buffer
 //! DRAM) and hosts the experiment suite that regenerates every figure and
 //! table of the reproduced evaluation (see `DESIGN.md` for the experiment
-//! index and `EXPERIMENTS.md` for results), plus sweep/CSV utilities and
-//! the `repro` / `tracegen` binaries.
+//! index and `EXPERIMENTS.md` for results), plus sweep/CSV utilities, a
+//! deterministic multi-threaded sweep engine ([`parallel`]), and the
+//! `repro` / `tracegen` binaries.
 //!
 //! ```
 //! use moca_core::L2Design;
@@ -27,6 +28,7 @@ pub mod cpu;
 pub mod dram;
 pub mod experiments;
 pub mod metrics;
+pub mod parallel;
 pub mod sweep;
 pub mod system;
 pub mod table;
@@ -36,6 +38,9 @@ pub use config::SystemConfig;
 pub use cpu::InOrderCore;
 pub use dram::{DramModel, RowBufferDram, RowBufferParams};
 pub use metrics::{geometric_mean, mean, SimReport};
-pub use sweep::{comparison_table, csv_row, sweep, write_csv, SweepPoint};
+pub use parallel::{parallel_map, parallel_map_ref, Jobs};
+pub use sweep::{comparison_table, csv_row, sweep, sweep_parallel, write_csv, SweepPoint};
 pub use system::{BuildSystemError, System};
-pub use workloads::{run_app, run_app_with_behavior, run_suite, Scale, EXPERIMENT_SEED};
+pub use workloads::{
+    run_app, run_app_with_behavior, run_suite, run_suite_parallel, Scale, EXPERIMENT_SEED,
+};

@@ -11,6 +11,7 @@ use moca_core::L2Design;
 use moca_trace::AppProfile;
 
 use crate::metrics::SimReport;
+use crate::parallel::{parallel_map_ref, Jobs};
 use crate::table::Table;
 use crate::workloads::run_app;
 
@@ -62,6 +63,46 @@ where
             report: run_app(app, to_design(p), refs, seed),
         })
         .collect()
+}
+
+/// [`sweep`] sharded over `jobs` threads.
+///
+/// Each design point is an independent simulation with its own seeded
+/// trace generator, and results are merged in parameter order — so the
+/// output (including its CSV rendering) is **byte-identical** to the
+/// serial [`sweep`] for every job count.
+///
+/// # Examples
+///
+/// ```
+/// use moca_sim::parallel::Jobs;
+/// use moca_sim::sweep::{sweep, sweep_parallel};
+/// use moca_core::L2Design;
+/// use moca_trace::AppProfile;
+///
+/// let app = AppProfile::music();
+/// let to_design = |&ways: &u32| L2Design::SharedSram { ways };
+/// let serial = sweep(&[4u32, 8], to_design, &app, 20_000, 1);
+/// let parallel = sweep_parallel(&[4u32, 8], to_design, &app, 20_000, 1, Jobs::new(2));
+/// assert_eq!(serial.len(), parallel.len());
+/// assert_eq!(serial[0].report.cycles, parallel[0].report.cycles);
+/// ```
+pub fn sweep_parallel<P, F>(
+    params: &[P],
+    to_design: F,
+    app: &AppProfile,
+    refs: usize,
+    seed: u64,
+    jobs: Jobs,
+) -> Vec<SweepPoint<P>>
+where
+    P: Clone + Send + Sync,
+    F: Fn(&P) -> L2Design + Sync,
+{
+    parallel_map_ref(jobs, params, |p| SweepPoint {
+        param: p.clone(),
+        report: run_app(app, to_design(p), refs, seed),
+    })
 }
 
 /// The CSV header matching [`csv_row`].
@@ -166,6 +207,22 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].param, 2);
         assert!(pts[0].report.l2_stats.accesses() > 0);
+    }
+
+    #[test]
+    fn parallel_sweep_csv_is_byte_identical_to_serial() {
+        let app = AppProfile::game();
+        let to_design = |&w: &u32| L2Design::SharedSram { ways: w };
+        let params = [2u32, 4, 8, 16];
+        let serial = sweep(&params, to_design, &app, 20_000, 3);
+        let mut serial_csv = Vec::new();
+        write_csv(&mut serial_csv, serial.iter().map(|p| &p.report)).expect("write");
+        for jobs in [1, 2, 8] {
+            let par = sweep_parallel(&params, to_design, &app, 20_000, 3, Jobs::new(jobs));
+            let mut par_csv = Vec::new();
+            write_csv(&mut par_csv, par.iter().map(|p| &p.report)).expect("write");
+            assert_eq!(serial_csv, par_csv, "jobs = {jobs}");
+        }
     }
 
     #[test]

@@ -5,11 +5,16 @@ use moca_trace::{AppProfile, TraceGenerator};
 
 use crate::config::SystemConfig;
 use crate::metrics::SimReport;
+use crate::parallel::{parallel_map, Jobs};
 use crate::system::System;
 
 /// How long experiments run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Very short traces for determinism / smoke tests (~100 k
+    /// references per app). Too short for the claim bands — use it when
+    /// only structural properties (shape, determinism) are under test.
+    Smoke,
     /// Short traces for CI / unit tests (~1 M references per app).
     Quick,
     /// The scale used for `EXPERIMENTS.md` (~12 M references per app).
@@ -20,6 +25,7 @@ impl Scale {
     /// References simulated per app at this scale.
     pub fn refs(self) -> usize {
         match self {
+            Scale::Smoke => 100_000,
             Scale::Quick => 1_000_000,
             Scale::Full => 12_000_000,
         }
@@ -28,6 +34,7 @@ impl Scale {
     /// A reduced reference count for quadratic experiments (sweeps).
     pub fn sweep_refs(self) -> usize {
         match self {
+            Scale::Smoke => 40_000,
             Scale::Quick => 300_000,
             Scale::Full => 3_000_000,
         }
@@ -71,12 +78,23 @@ pub fn run_app_with_behavior(
     sys.finish()
 }
 
-/// Runs the whole ten-app suite on one design.
+/// Runs the whole ten-app suite on one design, serially.
+///
+/// Equivalent to [`run_suite_parallel`] with [`Jobs::SERIAL`].
 pub fn run_suite(design: L2Design, refs: usize, seed: u64) -> Vec<SimReport> {
-    AppProfile::suite()
-        .iter()
-        .map(|app| run_app(app, design, refs, seed))
-        .collect()
+    run_suite_parallel(design, refs, seed, Jobs::SERIAL)
+}
+
+/// Runs the whole ten-app suite on one design, sharding the per-app
+/// simulations over `jobs` threads.
+///
+/// Reports come back in suite order and are bit-identical to
+/// [`run_suite`] for every job count (each app's simulation owns its
+/// seeded trace generator; see [`crate::parallel`]).
+pub fn run_suite_parallel(design: L2Design, refs: usize, seed: u64, jobs: Jobs) -> Vec<SimReport> {
+    parallel_map(jobs, AppProfile::suite(), |app| {
+        run_app(&app, design, refs, seed)
+    })
 }
 
 #[cfg(test)]
@@ -106,5 +124,19 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn parallel_suite_matches_serial_suite() {
+        let serial = run_suite(L2Design::baseline(), 20_000, 2);
+        for jobs in [1, 2, 8] {
+            let parallel = run_suite_parallel(L2Design::baseline(), 20_000, 2, Jobs::new(jobs));
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.app, p.app, "jobs = {jobs}");
+                assert_eq!(s.cycles, p.cycles, "jobs = {jobs}");
+                assert_eq!(s.l2_stats, p.l2_stats, "jobs = {jobs}");
+            }
+        }
     }
 }

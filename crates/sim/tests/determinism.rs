@@ -1,0 +1,70 @@
+//! Determinism of the parallel sweep engine.
+//!
+//! The contract of `moca_sim::parallel` is that sharding an experiment's
+//! independent simulations over worker threads changes *nothing* about
+//! the output: results are merged in input order and every simulation
+//! owns its seeded trace generator, so the rendered experiment — table,
+//! summary, claim checks — must be **byte-identical** for every job
+//! count. These tests pin that contract for each figure/table experiment
+//! at `Scale::Smoke` (claim checks may fail at that scale; only equality
+//! of the rendered output matters here).
+
+use moca_sim::experiments::{by_id, ExperimentResult};
+use moca_sim::parallel::Jobs;
+use moca_sim::workloads::Scale;
+
+/// Flattens an experiment result into one comparable string.
+fn render_full(r: &ExperimentResult) -> String {
+    let mut out = r.render();
+    for c in &r.claims {
+        out.push_str(&format!("{} {} {} {}\n", c.claim, c.target, c.measured, c.pass));
+    }
+    out
+}
+
+/// Runs `id` serially and with 2 and 8 worker threads, asserting the
+/// rendered output is byte-identical across all job counts.
+fn assert_deterministic(id: &str) {
+    let serial = by_id(id, Scale::Smoke, Jobs::SERIAL)
+        .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+    let reference = render_full(&serial);
+    assert!(!reference.is_empty());
+    for jobs in [1usize, 2, 8] {
+        let parallel = by_id(id, Scale::Smoke, Jobs::new(jobs)).expect("known id");
+        assert_eq!(
+            reference,
+            render_full(&parallel),
+            "experiment {id} output differs between serial and jobs={jobs}"
+        );
+    }
+}
+
+macro_rules! determinism_tests {
+    ($($test_name:ident => $id:literal),* $(,)?) => {
+        $(
+            #[test]
+            fn $test_name() {
+                assert_deterministic($id);
+            }
+        )*
+    };
+}
+
+determinism_tests! {
+    f1_kernel_share_is_deterministic => "F1",
+    f2_interference_is_deterministic => "F2",
+    f3_static_sweep_is_deterministic => "F3",
+    f4_behavior_is_deterministic => "F4",
+    f5_retention_sweep_is_deterministic => "F5",
+    f6_performance_is_deterministic => "F6",
+    f7_adaptation_is_deterministic => "F7",
+    f8_sensitivity_is_deterministic => "F8",
+    t2_energy_table_is_deterministic => "T2",
+    a1_area_is_deterministic => "A1",
+    a2_partition_style_is_deterministic => "A2",
+    a3_hybrid_study_is_deterministic => "A3",
+    a4_duty_cycle_is_deterministic => "A4",
+    a5_prefetch_study_is_deterministic => "A5",
+    a6_temperature_is_deterministic => "A6",
+    a7_multitask_is_deterministic => "A7",
+}

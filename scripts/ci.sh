@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline tier-1 gate for the moca workspace.
+#
+# Runs entirely without network access: the workspace has zero external
+# dependencies, so every step below must succeed with the registry
+# unreachable. CARGO_NET_OFFLINE makes any accidental dependency on the
+# network a hard failure rather than a silent download.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (workspace, offline) =="
+cargo test -q --offline
+
+echo "== bench smoke (1 iteration per target, offline) =="
+cargo bench -p moca-bench --offline -- --smoke
+
+echo "== ci.sh: all gates passed =="
