@@ -12,6 +12,21 @@ fn trace_generation(r: &mut Runner) {
         let gen = TraceGenerator::new(&AppProfile::browser(), 1);
         black_box(gen.take(100_000).map(|a| a.addr).sum::<u64>())
     });
+    // Same stream through the chunked fill API (reused buffer) instead of
+    // the per-access iterator.
+    r.throughput_elems(100_000);
+    r.bench("trace-generation/browser-100k-fill", || {
+        let mut gen = TraceGenerator::new(&AppProfile::browser(), 1);
+        let mut chunk = Vec::with_capacity(TraceGenerator::DEFAULT_CHUNK);
+        let mut sum = 0u64;
+        let mut left = 100_000usize;
+        while left > 0 {
+            let n = gen.fill(&mut chunk).min(left);
+            sum += chunk[..n].iter().map(|a| a.addr).sum::<u64>();
+            left -= n;
+        }
+        black_box(sum)
+    });
 }
 
 fn cache_access_path(r: &mut Runner) {

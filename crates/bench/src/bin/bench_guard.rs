@@ -1,0 +1,94 @@
+//! CI benchmark regression guard.
+//!
+//! ```text
+//! bench_guard <BENCH_micro.json> <current-bench-output> [--max-regression 0.30]
+//! ```
+//!
+//! Compares the `"after"` section of the recorded baseline against a
+//! fresh `cargo bench` capture (JSON lines, human lines tolerated) and
+//! exits non-zero when any baseline benchmark's throughput — measured as
+//! `1/min_ns` — dropped by more than the tolerance, or disappeared from
+//! the run. See [`moca_bench::regression`] for the comparison rules.
+
+use moca_bench::regression::{baseline_records, compare, parse_records};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_guard <baseline.json> <current-output> [--max-regression FRAC]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = 0.30f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regression" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                max_regression = v;
+                i += 1;
+            }
+            a => {
+                if let Some(v) = a.strip_prefix("--max-regression=") {
+                    let Ok(v) = v.parse() else { return usage() };
+                    max_regression = v;
+                } else {
+                    paths.push(a.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    if paths.len() != 2 || !(0.0..1.0).contains(&max_regression) {
+        return usage();
+    }
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(base_text), Some(cur_text)) = (read(&paths[0]), read(&paths[1])) else {
+        return ExitCode::from(2);
+    };
+
+    let baseline = baseline_records(&base_text);
+    if baseline.is_empty() {
+        eprintln!("bench_guard: no benchmark records in baseline {}", paths[0]);
+        return ExitCode::from(2);
+    }
+    let current = parse_records(&cur_text);
+
+    let mut failures = 0;
+    for c in compare(&baseline, &current, max_regression) {
+        let status = if c.failed { "FAIL" } else { "ok" };
+        match c.cur_min_ns {
+            Some(cur) => println!(
+                "{status:>4}  {:<40} base {:>10} ns  now {:>10} ns  ({:.2}x throughput)",
+                c.bench, c.base_min_ns, cur, c.throughput_ratio
+            ),
+            None => println!("{status:>4}  {:<40} missing from current run", c.bench),
+        }
+        failures += usize::from(c.failed);
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_guard: {failures} benchmark(s) regressed more than {:.0}% vs {}",
+            max_regression * 100.0,
+            paths[0]
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_guard: all {} benchmark(s) within {:.0}% of baseline",
+        baseline.len(),
+        max_regression * 100.0
+    );
+    ExitCode::SUCCESS
+}

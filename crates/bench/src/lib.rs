@@ -19,6 +19,8 @@
 //!
 //! Unknown flags (such as the `--bench` cargo appends) are ignored.
 
+pub mod regression;
+
 use std::hint::black_box;
 use std::time::Instant;
 

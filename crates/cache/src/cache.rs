@@ -5,40 +5,43 @@
 //! miss / eviction information. Every operation takes a [`WayMask`]
 //! restricting both lookup and fill, which is the primitive the paper's
 //! way-partitioned and power-gated designs are built on.
+//!
+//! # Memory layout (structure-of-arrays)
+//!
+//! Block state is split by access temperature rather than stored as an
+//! array of per-block structs:
+//!
+//! * **Hot**: a packed per-block tag array (`Vec<u64>`, set-major) plus
+//!   one valid and one dirty **bitmask word per set**. A lookup touches
+//!   only the set's valid word and the tags of candidate ways
+//!   (`valid & mask` scanned with `trailing_zeros`), so the common path
+//!   reads a few cache lines instead of one 64-byte struct per way.
+//! * **Cold**: `owner`, `inserted_at`, `last_touch`, `last_write`, and
+//!   `access_count` live in a separate parallel per-block record array
+//!   and are touched only on a hit, fill, or eviction — never during the
+//!   tag scan. Keeping the cold fields together (rather than one array
+//!   per field) means a fill dirties one cache line of metadata instead
+//!   of five.
+//!
+//! Scans iterate ways in increasing order exactly like the previous
+//! array-of-structs engine, so results (including victim choice and every
+//! statistic) are bit-identical to it.
+//!
+//! # Mask validation
+//!
+//! [`SetAssocCache::access`], [`SetAssocCache::probe`], and
+//! [`SetAssocCache::invalidate_line`] all validate masks the same way:
+//! a mask referencing ways at or beyond [`CacheGeometry::ways`] panics
+//! (historically `probe` silently ignored such ways while `access`
+//! panicked). `access` additionally rejects the empty mask, because a fill
+//! must land somewhere; `probe` and `invalidate_line` accept it as a
+//! trivially empty search.
 
 use moca_trace::Mode;
 
 use crate::config::{CacheGeometry, WayMask};
 use crate::replacement::{ReplacementPolicy, ReplacementState};
 use crate::stats::CacheStats;
-
-/// One cache block's metadata.
-#[derive(Debug, Clone, Copy)]
-struct Block {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    owner: Mode,
-    inserted_at: u64,
-    last_touch: u64,
-    last_write: u64,
-    access_count: u64,
-}
-
-impl Block {
-    fn empty() -> Self {
-        Block {
-            tag: 0,
-            valid: false,
-            dirty: false,
-            owner: Mode::User,
-            inserted_at: 0,
-            last_touch: 0,
-            last_write: 0,
-            access_count: 0,
-        }
-    }
-}
 
 /// Read-only view of a resident block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +82,53 @@ pub struct EvictedBlock {
     pub access_count: u64,
 }
 
+/// Cold per-block metadata, read and written only on hits, fills,
+/// evictions, and maintenance operations — never by the tag scan.
+///
+/// The owner mode is packed into the top bit of the access-count word so
+/// the record is exactly 32 bytes: two records per cache line, none
+/// straddling a line boundary.
+#[derive(Debug, Clone, Copy)]
+struct ColdMeta {
+    inserted_at: u64,
+    last_touch: u64,
+    last_write: u64,
+    /// Access count in the low 63 bits, owner mode in the top bit.
+    count_owner: u64,
+}
+
+impl ColdMeta {
+    const OWNER_BIT: u64 = 1 << 63;
+
+    const EMPTY: ColdMeta = ColdMeta {
+        inserted_at: 0,
+        last_touch: 0,
+        last_write: 0,
+        count_owner: 0,
+    };
+
+    fn filled(mode: Mode, now: u64) -> ColdMeta {
+        ColdMeta {
+            inserted_at: now,
+            last_touch: now,
+            last_write: now,
+            count_owner: ((mode.index() as u64) << 63) | 1,
+        }
+    }
+
+    fn owner(self) -> Mode {
+        if self.count_owner & Self::OWNER_BIT != 0 {
+            Mode::Kernel
+        } else {
+            Mode::User
+        }
+    }
+
+    fn access_count(self) -> u64 {
+        self.count_owner & !Self::OWNER_BIT
+    }
+}
+
 /// Outcome of [`SetAssocCache::access`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessResult {
@@ -88,6 +138,64 @@ pub struct AccessResult {
     pub way: u32,
     /// A valid block displaced by the fill, if any.
     pub victim: Option<EvictedBlock>,
+}
+
+/// Folds a tag to its 8-bit lookup signature.
+#[inline]
+fn tag_signature(tag: u64) -> u8 {
+    (tag ^ (tag >> 8)) as u8
+}
+
+/// Associativity at or below which lookups compare full tags directly:
+/// the set's whole tag array fits in one cache line, so the signature
+/// filter's extra work costs more than it saves. Wider sets (the 16-way
+/// L2) go through [`scan_for_tag`]'s signature pre-filter instead.
+const DIRECT_SCAN_WAYS: u32 = 8;
+
+/// Finds the lowest way in `live` whose tag matches, comparing full tags.
+#[inline]
+fn scan_tags_direct(set_tags: &[u64], tag: u64, mut live: u64) -> Option<u32> {
+    while live != 0 {
+        let way = live.trailing_zeros();
+        if set_tags[way as usize] == tag {
+            return Some(way);
+        }
+        live &= live - 1;
+    }
+    None
+}
+
+/// Finds the lowest way in `live` whose signature and full tag match.
+///
+/// Signatures are scanned eight ways at a time with SWAR zero-byte
+/// detection; only matching bytes (hits and ~1/256 false positives) are
+/// verified against the full tag array. Candidates are visited in
+/// increasing way order. `set_sigs` shorter than a multiple of eight is
+/// zero-padded: a padding byte can only match when `sig == 0`, and such
+/// phantom ways are rejected by `live`, which never has bits at or above
+/// the way count.
+#[inline]
+fn scan_for_tag(set_sigs: &[u8], set_tags: &[u64], sig: u8, tag: u64, live: u64) -> Option<u32> {
+    const LOW: u64 = 0x0101_0101_0101_0101;
+    const HIGH: u64 = 0x8080_8080_8080_8080;
+    let broadcast = LOW.wrapping_mul(u64::from(sig));
+    let mut chunk_base = 0u32;
+    for chunk in set_sigs.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        let x = u64::from_le_bytes(word) ^ broadcast;
+        // Bit 7 of each byte of `m` is set iff that byte of `x` is zero.
+        let mut m = x.wrapping_sub(LOW) & !x & HIGH;
+        while m != 0 {
+            let way = chunk_base + m.trailing_zeros() / 8;
+            if (live >> way) & 1 != 0 && set_tags[way as usize] == tag {
+                return Some(way);
+            }
+            m &= m - 1;
+        }
+        chunk_base += 8;
+    }
+    None
 }
 
 /// A set-associative, write-back, write-allocate cache model.
@@ -111,7 +219,25 @@ pub struct AccessResult {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geom: CacheGeometry,
-    blocks: Vec<Block>,
+    /// `geom.ways()`, hoisted out of the access path.
+    ways: u32,
+    /// `geom.sets() - 1`, for the set-index mask.
+    set_mask: u64,
+    /// `geom.sets().trailing_zeros()`, for the tag shift.
+    tag_shift: u32,
+    /// Bits of `WayMask::first(ways)`: the set of legal ways.
+    legal_bits: u64,
+    /// Hot: per-block tags, set-major (`set * ways + way`).
+    tags: Vec<u64>,
+    /// Hot: per-block 8-bit tag signatures (same layout as `tags`), the
+    /// first-level filter of the lookup scan.
+    sigs: Vec<u8>,
+    /// Hot: two bitmask words per set — valid at `2 * set`, dirty at
+    /// `2 * set + 1` (bit `w` = way `w`). Interleaving keeps both words
+    /// of a set on the same cache line.
+    flags: Vec<u64>,
+    /// Cold: per-block metadata, set-major like `tags`.
+    meta: Vec<ColdMeta>,
     repl: ReplacementState,
     stats: CacheStats,
 }
@@ -120,9 +246,17 @@ impl SetAssocCache {
     /// Creates an empty cache.
     pub fn new(geom: CacheGeometry, policy: ReplacementPolicy) -> Self {
         let n = (geom.sets() as usize) * (geom.ways() as usize);
+        let sets = geom.sets() as usize;
         Self {
             geom,
-            blocks: vec![Block::empty(); n],
+            ways: geom.ways(),
+            set_mask: geom.sets() - 1,
+            tag_shift: geom.sets().trailing_zeros(),
+            legal_bits: WayMask::first(geom.ways()).bits(),
+            tags: vec![0; n],
+            sigs: vec![0; n],
+            flags: vec![0; sets * 2],
+            meta: vec![ColdMeta::EMPTY; n],
             repl: ReplacementState::new(policy, geom.sets(), geom.ways()),
             stats: CacheStats::new(),
         }
@@ -145,7 +279,24 @@ impl SetAssocCache {
 
     #[inline]
     fn idx(&self, set: u64, way: u32) -> usize {
-        set as usize * self.geom.ways() as usize + way as usize
+        set as usize * self.ways as usize + way as usize
+    }
+
+    /// Valid bitmask word of `set`.
+    #[inline]
+    fn valid_bits(&self, set: u64) -> u64 {
+        self.flags[set as usize * 2]
+    }
+
+    /// Dirty bitmask word of `set`.
+    #[inline]
+    fn dirty_bits(&self, set: u64) -> u64 {
+        self.flags[set as usize * 2 + 1]
+    }
+
+    #[inline]
+    fn line_from(&self, tag: u64, set: u64) -> u64 {
+        (tag << self.tag_shift) | set
     }
 
     /// Performs an access to `line` (a line address, i.e. byte address
@@ -156,7 +307,8 @@ impl SetAssocCache {
     ///
     /// # Panics
     ///
-    /// Panics if `mask` is empty or references ways beyond the geometry.
+    /// Panics if `mask` is empty or references ways beyond the geometry
+    /// (see the module docs on mask validation).
     pub fn access(
         &mut self,
         line: u64,
@@ -165,81 +317,105 @@ impl SetAssocCache {
         now: u64,
         mask: WayMask,
     ) -> AccessResult {
-        self.check_mask(mask);
-        let set = self.geom.set_of_line(line);
-        let tag = self.geom.tag_of_line(line);
-        let ways = self.geom.ways();
+        let bits = mask.bits();
+        assert!(bits != 0, "access with empty way mask");
+        self.check_mask_bounds(mask);
 
-        let counters = self.stats.mode_mut(mode);
-        if write {
-            counters.writes += 1;
-        }
+        let set = line & self.set_mask;
+        let tag = line >> self.tag_shift;
+        let si = set as usize;
+        let base = si * self.ways as usize;
+        let valid_bits = self.flags[si * 2];
 
         // Lookup restricted to the mask: partitioned segments are fully
         // isolated, so a line resident in foreign ways is *not* a hit.
-        for way in mask.iter() {
-            let i = self.idx(set, way);
-            if self.blocks[i].valid && self.blocks[i].tag == tag {
-                let b = &mut self.blocks[i];
-                b.dirty |= write;
-                b.last_touch = now;
-                if write {
-                    b.last_write = now;
-                }
-                b.access_count += 1;
-                self.repl.on_hit(set, ways, way);
-                self.stats.mode_mut(mode).hits += 1;
-                return AccessResult {
-                    hit: true,
-                    way,
-                    victim: None,
-                };
+        // Narrow sets compare full tags directly (one cache line); wide
+        // sets filter ways through the 8-bit signature array first (SWAR
+        // zero-byte detection, one u64 word per 8 ways), so a wide-set
+        // miss touches 1 byte per way of signatures instead of 8 bytes
+        // per way of full tags, and only signature matches — real hits
+        // plus ~1/256 false positives — read the tag array. Both scans
+        // visit candidates in increasing way order against valid ∩ mask,
+        // preserving the old scan order exactly.
+        let ways = self.ways as usize;
+        let hit = if self.ways <= DIRECT_SCAN_WAYS {
+            scan_tags_direct(&self.tags[base..base + ways], tag, valid_bits & bits)
+        } else {
+            scan_for_tag(
+                &self.sigs[base..base + ways],
+                &self.tags[base..base + ways],
+                tag_signature(tag),
+                tag,
+                valid_bits & bits,
+            )
+        };
+        if let Some(way) = hit {
+            let m = &mut self.meta[base + way as usize];
+            if write {
+                self.flags[si * 2 + 1] |= 1u64 << way;
+                m.last_write = now;
             }
+            m.last_touch = now;
+            m.count_owner += 1;
+            self.repl.on_hit(set, self.ways, way);
+            let c = &mut self.stats.by_mode[mode.index()];
+            c.hits += 1;
+            c.writes += u64::from(write);
+            return AccessResult {
+                hit: true,
+                way,
+                victim: None,
+            };
         }
 
-        // Miss: pick an invalid way in the mask, else a policy victim.
-        self.stats.mode_mut(mode).misses += 1;
-        let (way, victim) = match mask.iter().find(|&w| !self.blocks[self.idx(set, w)].valid) {
-            Some(w) => (w, None),
-            None => {
-                let w = self.repl.victim(set, ways, mask);
-                let i = self.idx(set, w);
-                let old = self.blocks[i];
-                debug_assert!(old.valid);
-                let ev = EvictedBlock {
-                    line: self.geom.line_from_parts(old.tag, set),
-                    dirty: old.dirty,
-                    owner: old.owner,
-                    inserted_at: old.inserted_at,
-                    last_touch: old.last_touch,
-                    last_write: old.last_write,
-                    access_count: old.access_count,
-                };
-                if ev.owner == mode {
-                    self.stats.same_evictions[ev.owner.index()] += 1;
-                } else {
-                    self.stats.cross_evictions[ev.owner.index()] += 1;
-                }
-                if ev.dirty {
-                    self.stats.mode_mut(mode).writebacks += 1;
-                }
-                (w, Some(ev))
+        // Miss: pick the lowest invalid way in the mask, else a policy
+        // victim (victim choice + fill bookkeeping in one dispatch).
+        let invalid = bits & !valid_bits;
+        let (way, victim) = if invalid != 0 {
+            let w = invalid.trailing_zeros();
+            self.repl.on_fill(set, self.ways, w);
+            (w, None)
+        } else {
+            let w = self.repl.evict_and_fill(set, self.ways, mask);
+            let i = base + w as usize;
+            let m = self.meta[i];
+            let ev = EvictedBlock {
+                line: self.line_from(self.tags[i], set),
+                dirty: self.flags[si * 2 + 1] & (1u64 << w) != 0,
+                owner: m.owner(),
+                inserted_at: m.inserted_at,
+                last_touch: m.last_touch,
+                last_write: m.last_write,
+                access_count: m.access_count(),
+            };
+            if ev.owner == mode {
+                self.stats.same_evictions[ev.owner.index()] += 1;
+            } else {
+                self.stats.cross_evictions[ev.owner.index()] += 1;
             }
+            (w, Some(ev))
         };
 
-        let i = self.idx(set, way);
-        self.blocks[i] = Block {
-            tag,
-            valid: true,
-            dirty: write,
-            owner: mode,
-            inserted_at: now,
-            last_touch: now,
-            last_write: now,
-            access_count: 1,
-        };
-        self.repl.on_fill(set, ways, way);
-        self.stats.mode_mut(mode).fills += 1;
+        let i = base + way as usize;
+        self.tags[i] = tag;
+        self.sigs[i] = tag_signature(tag);
+        self.flags[si * 2] |= 1u64 << way;
+        if write {
+            self.flags[si * 2 + 1] |= 1u64 << way;
+        } else {
+            self.flags[si * 2 + 1] &= !(1u64 << way);
+        }
+        self.meta[i] = ColdMeta::filled(mode, now);
+
+        // One counter-block write per access: every miss-path stat lands
+        // here instead of re-dispatching `mode_mut` per field.
+        let wb = u64::from(victim.is_some_and(|v| v.dirty));
+        let c = &mut self.stats.by_mode[mode.index()];
+        c.misses += 1;
+        c.fills += 1;
+        c.writes += u64::from(write);
+        c.writebacks += wb;
+
         AccessResult {
             hit: false,
             way,
@@ -248,28 +424,55 @@ impl SetAssocCache {
     }
 
     /// Looks a line up without changing any state.
+    ///
+    /// An empty mask is a valid (trivially unsuccessful) search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` references ways beyond the geometry — the same
+    /// validation [`SetAssocCache::access`] applies.
     pub fn probe(&self, line: u64, mask: WayMask) -> Option<BlockView> {
-        let set = self.geom.set_of_line(line);
-        let tag = self.geom.tag_of_line(line);
-        for way in mask.iter().filter(|&w| w < self.geom.ways()) {
-            let b = &self.blocks[self.idx(set, way)];
-            if b.valid && b.tag == tag {
-                return Some(self.view(set, b));
+        self.check_mask_bounds(mask);
+        let set = line & self.set_mask;
+        let tag = line >> self.tag_shift;
+        let base = set as usize * self.ways as usize;
+        let mut cand = self.valid_bits(set) & mask.bits();
+        while cand != 0 {
+            let way = cand.trailing_zeros();
+            let i = base + way as usize;
+            if self.tags[i] == tag {
+                return Some(self.view(set, way));
             }
+            cand &= cand - 1;
         }
         None
     }
 
-    fn view(&self, set: u64, b: &Block) -> BlockView {
+    fn view(&self, set: u64, way: u32) -> BlockView {
+        let i = self.idx(set, way);
+        let m = self.meta[i];
         BlockView {
-            line: self.geom.line_from_parts(b.tag, set),
-            dirty: b.dirty,
-            owner: b.owner,
-            inserted_at: b.inserted_at,
-            last_touch: b.last_touch,
-            last_write: b.last_write,
-            access_count: b.access_count,
+            line: self.line_from(self.tags[i], set),
+            dirty: self.dirty_bits(set) & (1u64 << way) != 0,
+            owner: m.owner(),
+            inserted_at: m.inserted_at,
+            last_touch: m.last_touch,
+            last_write: m.last_write,
+            access_count: m.access_count(),
         }
+    }
+
+    /// The mask of valid ways in `set`.
+    ///
+    /// Cheap (one word read); lets sweep-style callers skip invalid slots
+    /// without probing each `(set, way)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn valid_ways(&self, set: u64) -> WayMask {
+        assert!(set < self.geom.sets(), "set {set} out of range");
+        WayMask::from_bits(self.valid_bits(set))
     }
 
     /// Returns a view of the block at `(set, way)` if valid.
@@ -278,10 +481,9 @@ impl SetAssocCache {
     ///
     /// Panics if `set` or `way` is out of range.
     pub fn block_at(&self, set: u64, way: u32) -> Option<BlockView> {
-        assert!(set < self.geom.sets() && way < self.geom.ways());
-        let b = &self.blocks[self.idx(set, way)];
-        if b.valid {
-            Some(self.view(set, b))
+        assert!(set < self.geom.sets() && way < self.ways);
+        if self.valid_bits(set) & (1u64 << way) != 0 {
+            Some(self.view(set, way))
         } else {
             None
         }
@@ -295,23 +497,24 @@ impl SetAssocCache {
     ///
     /// Panics if `set` or `way` is out of range.
     pub fn invalidate_at(&mut self, set: u64, way: u32) -> Option<EvictedBlock> {
-        assert!(set < self.geom.sets() && way < self.geom.ways());
-        let i = self.idx(set, way);
-        let b = self.blocks[i];
-        if !b.valid {
+        assert!(set < self.geom.sets() && way < self.ways);
+        if self.valid_bits(set) & (1u64 << way) == 0 {
             return None;
         }
-        self.blocks[i].valid = false;
+        let i = self.idx(set, way);
+        let m = self.meta[i];
+        let ev = EvictedBlock {
+            line: self.line_from(self.tags[i], set),
+            dirty: self.dirty_bits(set) & (1u64 << way) != 0,
+            owner: m.owner(),
+            inserted_at: m.inserted_at,
+            last_touch: m.last_touch,
+            last_write: m.last_write,
+            access_count: m.access_count(),
+        };
+        self.flags[set as usize * 2] &= !(1u64 << way);
         self.stats.invalidations += 1;
-        Some(EvictedBlock {
-            line: self.geom.line_from_parts(b.tag, set),
-            dirty: b.dirty,
-            owner: b.owner,
-            inserted_at: b.inserted_at,
-            last_touch: b.last_touch,
-            last_write: b.last_write,
-            access_count: b.access_count,
-        })
+        Some(ev)
     }
 
     /// Records a refresh rewrite of the block at `(set, way)`: resets the
@@ -323,12 +526,12 @@ impl SetAssocCache {
     ///
     /// Panics if `set` or `way` is out of range.
     pub fn refresh_write(&mut self, set: u64, way: u32, now: u64) -> bool {
-        assert!(set < self.geom.sets() && way < self.geom.ways());
-        let i = self.idx(set, way);
-        if !self.blocks[i].valid {
+        assert!(set < self.geom.sets() && way < self.ways);
+        if self.valid_bits(set) & (1u64 << way) == 0 {
             return false;
         }
-        self.blocks[i].last_write = now;
+        let i = self.idx(set, way);
+        self.meta[i].last_write = now;
         true
     }
 
@@ -340,10 +543,11 @@ impl SetAssocCache {
     ///
     /// Panics if `set` or `way` is out of range.
     pub fn clear_dirty(&mut self, set: u64, way: u32) -> bool {
-        assert!(set < self.geom.sets() && way < self.geom.ways());
-        let i = self.idx(set, way);
-        if self.blocks[i].valid && self.blocks[i].dirty {
-            self.blocks[i].dirty = false;
+        assert!(set < self.geom.sets() && way < self.ways);
+        let bit = 1u64 << way;
+        let fi = set as usize * 2;
+        if self.flags[fi] & bit != 0 && self.flags[fi + 1] & bit != 0 {
+            self.flags[fi + 1] &= !bit;
             true
         } else {
             false
@@ -351,14 +555,24 @@ impl SetAssocCache {
     }
 
     /// Invalidates a line wherever it resides within `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` references ways beyond the geometry (same
+    /// validation as [`SetAssocCache::access`]; the empty mask is a
+    /// trivially unsuccessful search).
     pub fn invalidate_line(&mut self, line: u64, mask: WayMask) -> Option<EvictedBlock> {
-        let set = self.geom.set_of_line(line);
-        let tag = self.geom.tag_of_line(line);
-        for way in mask.iter().filter(|&w| w < self.geom.ways()) {
-            let i = self.idx(set, way);
-            if self.blocks[i].valid && self.blocks[i].tag == tag {
+        self.check_mask_bounds(mask);
+        let set = line & self.set_mask;
+        let tag = line >> self.tag_shift;
+        let base = set as usize * self.ways as usize;
+        let mut cand = self.valid_bits(set) & mask.bits();
+        while cand != 0 {
+            let way = cand.trailing_zeros();
+            if self.tags[base + way as usize] == tag {
                 return self.invalidate_at(set, way);
             }
+            cand &= cand - 1;
         }
         None
     }
@@ -371,50 +585,48 @@ impl SetAssocCache {
     ///
     /// Panics if `way` is out of range.
     pub fn drain_way(&mut self, way: u32) -> Vec<EvictedBlock> {
-        assert!(way < self.geom.ways(), "way {way} out of range");
+        assert!(way < self.ways, "way {way} out of range");
         let mut out = Vec::new();
+        let bit = 1u64 << way;
         for set in 0..self.geom.sets() {
-            if let Some(ev) = self.invalidate_at(set, way) {
-                out.push(ev);
+            if self.valid_bits(set) & bit != 0 {
+                if let Some(ev) = self.invalidate_at(set, way) {
+                    out.push(ev);
+                }
             }
         }
         out
     }
 
     /// Number of valid blocks currently resident in `mask`.
+    ///
+    /// With the per-set valid bitmasks this is a popcount per set, not a
+    /// probe per `(set, way)` pair. Ways beyond the geometry contribute
+    /// nothing.
     pub fn occupancy(&self, mask: WayMask) -> u64 {
-        let mut n = 0;
-        for set in 0..self.geom.sets() {
-            for way in mask.iter().filter(|&w| w < self.geom.ways()) {
-                if self.blocks[self.idx(set, way)].valid {
-                    n += 1;
-                }
-            }
-        }
-        n
+        let bits = mask.bits() & self.legal_bits;
+        self.flags
+            .chunks_exact(2)
+            .map(|pair| u64::from((pair[0] & bits).count_ones()))
+            .sum()
     }
 
     /// Iterates views of all valid blocks (set-major order).
     pub fn iter_valid(&self) -> impl Iterator<Item = (u64, u32, BlockView)> + '_ {
         (0..self.geom.sets()).flat_map(move |set| {
-            (0..self.geom.ways()).filter_map(move |way| {
-                let b = &self.blocks[self.idx(set, way)];
-                if b.valid {
-                    Some((set, way, self.view(set, b)))
-                } else {
-                    None
-                }
-            })
+            WayMask::from_bits(self.valid_bits(set))
+                .iter()
+                .map(move |way| (set, way, self.view(set, way)))
         })
     }
 
-    fn check_mask(&self, mask: WayMask) {
-        assert!(!mask.is_empty(), "access with empty way mask");
-        let legal = WayMask::first(self.geom.ways());
+    /// Panics unless every way in `mask` exists in the geometry.
+    #[inline]
+    fn check_mask_bounds(&self, mask: WayMask) {
         assert!(
-            mask.difference(legal).is_empty(),
+            mask.bits() & !self.legal_bits == 0,
             "mask {mask} references ways beyond {}-way geometry",
-            self.geom.ways()
+            self.ways
         );
     }
 }
@@ -528,6 +740,28 @@ mod tests {
     }
 
     #[test]
+    fn probe_accepts_empty_mask() {
+        let mut c = small();
+        c.access(7, false, Mode::User, 0, full());
+        assert!(c.probe(7, WayMask::EMPTY).is_none());
+        assert!(c.invalidate_line(7, WayMask::EMPTY).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn probe_oversized_mask_panics_like_access() {
+        let c = small();
+        c.probe(7, WayMask::first(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn invalidate_line_oversized_mask_panics_like_access() {
+        let mut c = small();
+        c.invalidate_line(7, WayMask::first(8));
+    }
+
+    #[test]
     fn invalidate_line_returns_block() {
         let mut c = small();
         c.access(7, true, Mode::Kernel, 3, full());
@@ -553,6 +787,18 @@ mod tests {
         assert_eq!(drained.len(), 4);
         assert_eq!(c.occupancy(full()), 12);
         assert_eq!(c.occupancy(WayMask::EMPTY.with(2)), 0);
+    }
+
+    #[test]
+    fn valid_ways_tracks_contents() {
+        let mut c = small();
+        assert_eq!(c.valid_ways(0), WayMask::EMPTY);
+        c.access(set0_line(0), false, Mode::User, 0, full());
+        c.access(set0_line(1), false, Mode::User, 1, full());
+        assert_eq!(c.valid_ways(0).count(), 2);
+        c.invalidate_at(0, 0);
+        assert_eq!(c.valid_ways(0).count(), 1);
+        assert!(!c.valid_ways(0).contains(0));
     }
 
     #[test]

@@ -47,8 +47,10 @@ pub(crate) enum ReplacementState {
         referenced: Vec<bool>,
     },
     TreePlru {
-        /// `ways - 1` bits per set, flattened.
-        bits: Vec<bool>,
+        /// One word per set holding the `ways - 1` tree-node bits (node
+        /// `i` is bit `i`), so a whole tree walk runs on a register with
+        /// a single load and store.
+        words: Vec<u64>,
         ways: u32,
     },
     Srrip {
@@ -90,7 +92,7 @@ impl ReplacementState {
                     "tree PLRU requires power-of-two associativity, got {ways}"
                 );
                 ReplacementState::TreePlru {
-                    bits: vec![false; (sets as usize) * (ways as usize - 1).max(1)],
+                    words: vec![0; sets as usize],
                     ways,
                 }
             }
@@ -106,6 +108,7 @@ impl ReplacementState {
     }
 
     /// Records a hit on `(set, way)`.
+    #[inline]
     pub(crate) fn on_hit(&mut self, set: u64, ways: u32, way: u32) {
         match self {
             ReplacementState::Lru { stamps, clock } => {
@@ -117,10 +120,10 @@ impl ReplacementState {
                 referenced[Self::idx(set, ways, way)] = true;
             }
             ReplacementState::TreePlru {
-                bits,
+                words,
                 ways: tree_ways,
             } => {
-                plru_touch(bits, set, *tree_ways, way);
+                plru_touch(&mut words[set as usize], *tree_ways, way);
             }
             ReplacementState::Srrip { rrpv } => {
                 rrpv[Self::idx(set, ways, way)] = 0;
@@ -129,6 +132,7 @@ impl ReplacementState {
     }
 
     /// Records a fill into `(set, way)`.
+    #[inline]
     pub(crate) fn on_fill(&mut self, set: u64, ways: u32, way: u32) {
         match self {
             ReplacementState::Lru { stamps, clock } | ReplacementState::Fifo { stamps, clock } => {
@@ -140,10 +144,10 @@ impl ReplacementState {
                 referenced[Self::idx(set, ways, way)] = true;
             }
             ReplacementState::TreePlru {
-                bits,
+                words,
                 ways: tree_ways,
             } => {
-                plru_touch(bits, set, *tree_ways, way);
+                plru_touch(&mut words[set as usize], *tree_ways, way);
             }
             ReplacementState::Srrip { rrpv } => {
                 rrpv[Self::idx(set, ways, way)] = RRPV_INSERT;
@@ -154,9 +158,14 @@ impl ReplacementState {
     /// Chooses a victim among `allowed` ways of `set`, all of which are
     /// assumed valid.
     ///
+    /// The hot path uses [`ReplacementState::evict_and_fill`] instead;
+    /// this split form is kept as the reference the fused version is
+    /// tested against.
+    ///
     /// # Panics
     ///
     /// Panics if `allowed` is empty.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn victim(&mut self, set: u64, ways: u32, allowed: WayMask) -> u32 {
         assert!(!allowed.is_empty(), "cannot choose a victim from no ways");
         match self {
@@ -190,9 +199,9 @@ impl ReplacementState {
                 allowed.lowest().expect("non-empty")
             }
             ReplacementState::TreePlru {
-                bits,
+                words,
                 ways: tree_ways,
-            } => plru_victim(bits, set, *tree_ways, allowed),
+            } => plru_victim(words[set as usize], *tree_ways, allowed),
             ReplacementState::Srrip { rrpv } => loop {
                 if let Some(w) = allowed
                     .iter()
@@ -206,42 +215,222 @@ impl ReplacementState {
             },
         }
     }
+
+    /// Chooses a victim and records the replacing fill in one dispatch —
+    /// the eviction path of [`SetAssocCache::access`] resolves the policy
+    /// `match` once instead of twice per miss.
+    ///
+    /// Behaviourally identical to `victim` followed by `on_fill` on the
+    /// returned way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allowed` is empty.
+    ///
+    /// [`SetAssocCache::access`]: crate::SetAssocCache::access
+    #[inline]
+    pub(crate) fn evict_and_fill(&mut self, set: u64, ways: u32, allowed: WayMask) -> u32 {
+        assert!(!allowed.is_empty(), "cannot choose a victim from no ways");
+        let base = set as usize * ways as usize;
+        match self {
+            ReplacementState::Lru { stamps, clock } | ReplacementState::Fifo { stamps, clock } => {
+                let stamps = &mut stamps[base..base + ways as usize];
+                let mut best = u64::MAX;
+                let mut w = 0u32;
+                // Strict `<` keeps the lowest way on stamp ties in both
+                // loops, matching `min_by_key` in the reference `victim`.
+                let abits = allowed.bits();
+                let full = if ways >= 64 { u64::MAX } else { (1 << ways) - 1 };
+                if abits & full == full {
+                    // Unrestricted mask: a linear min-reduction the
+                    // compiler can vectorize.
+                    for (i, &s) in stamps.iter().enumerate() {
+                        if s < best {
+                            best = s;
+                            w = i as u32;
+                        }
+                    }
+                } else {
+                    let mut bits = abits;
+                    while bits != 0 {
+                        let i = bits.trailing_zeros();
+                        let s = stamps[i as usize];
+                        if s < best {
+                            best = s;
+                            w = i;
+                        }
+                        bits &= bits - 1;
+                    }
+                }
+                *clock += 1;
+                stamps[w as usize] = *clock;
+                w
+            }
+            ReplacementState::Random { state } => {
+                let mut x = *state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *state = x;
+                let nth = (x % u64::from(allowed.count())) as u32;
+                allowed.iter().nth(nth as usize).expect("nth < count")
+            }
+            ReplacementState::Nru { referenced } => {
+                let referenced = &mut referenced[base..base + ways as usize];
+                let mut bits = allowed.bits();
+                let w = loop {
+                    if bits == 0 {
+                        // All referenced: clear and take the lowest.
+                        for w in allowed.iter() {
+                            referenced[w as usize] = false;
+                        }
+                        break allowed.lowest().expect("non-empty");
+                    }
+                    let i = bits.trailing_zeros();
+                    if !referenced[i as usize] {
+                        break i;
+                    }
+                    bits &= bits - 1;
+                };
+                referenced[w as usize] = true;
+                w
+            }
+            ReplacementState::TreePlru {
+                words,
+                ways: tree_ways,
+            } => {
+                let ways = *tree_ways;
+                let full = if ways >= 64 { u64::MAX } else { (1 << ways) - 1 };
+                let word = &mut words[set as usize];
+                if ways >= 2 && allowed.bits() & full == full {
+                    // Unrestricted mask: the touch path is the victim
+                    // path, so one combined register walk flips each node
+                    // as it descends instead of walking the tree twice.
+                    let mut x = *word;
+                    let mut node = 0u32;
+                    let mut lo = 0u32;
+                    let mut size = ways;
+                    while size > 1 {
+                        let half = size / 2;
+                        let go_right = x & (1 << node) == 0;
+                        if go_right {
+                            x |= 1 << node;
+                            lo += half;
+                            node = 2 * node + 2;
+                        } else {
+                            x &= !(1 << node);
+                            node = 2 * node + 1;
+                        }
+                        size = half;
+                    }
+                    *word = x;
+                    lo
+                } else {
+                    let w = plru_victim(*word, ways, allowed);
+                    plru_touch(word, ways, w);
+                    w
+                }
+            }
+            ReplacementState::Srrip { rrpv } => {
+                let rrpv = &mut rrpv[base..base + ways as usize];
+                let abits = allowed.bits();
+                let full = if ways >= 64 { u64::MAX } else { (1 << ways) - 1 };
+                let w = if abits & full == full {
+                    srrip_victim_full(rrpv)
+                } else {
+                    'found: loop {
+                        let mut bits = abits;
+                        while bits != 0 {
+                            let i = bits.trailing_zeros();
+                            if rrpv[i as usize] >= RRPV_MAX {
+                                break 'found i;
+                            }
+                            bits &= bits - 1;
+                        }
+                        let mut bits = abits;
+                        while bits != 0 {
+                            let i = bits.trailing_zeros();
+                            rrpv[i as usize] += 1;
+                            bits &= bits - 1;
+                        }
+                    }
+                };
+                rrpv[w as usize] = RRPV_INSERT;
+                w
+            }
+        }
+    }
 }
 
-/// Updates the PLRU tree so the path to `way` points *away* from it.
-fn plru_touch(bits: &mut [bool], set: u64, ways: u32, way: u32) {
+/// SRRIP victim search over a whole set's RRPV lanes (unrestricted way
+/// mask): returns the lowest way whose RRPV is `RRPV_MAX`, ageing every
+/// lane until one reaches it.
+///
+/// Lanes are always in `0..=RRPV_MAX` (ageing only runs while no lane is
+/// at the maximum), so "≥ max" is "== 3" and a SWAR scan over 8-byte
+/// chunks — both low bits of a byte set — finds the victim without a
+/// per-way branch.
+fn srrip_victim_full(rrpv: &mut [u8]) -> u32 {
+    loop {
+        let mut found = None;
+        for (ci, chunk) in rrpv.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            let x = u64::from_le_bytes(word);
+            // Byte == 3 exactly when bits 0 and 1 of the byte are set;
+            // padding bytes in a short tail are 0 and never match.
+            let three = x & (x >> 1) & 0x0101_0101_0101_0101;
+            if three != 0 {
+                found = Some(ci as u32 * 8 + three.trailing_zeros() / 8);
+                break;
+            }
+        }
+        if let Some(w) = found {
+            return w;
+        }
+        for v in rrpv.iter_mut() {
+            *v += 1;
+        }
+    }
+}
+
+/// Updates one set's PLRU tree word so the path to `way` points *away*
+/// from it.
+fn plru_touch(word: &mut u64, ways: u32, way: u32) {
     if ways < 2 {
         return;
     }
-    let nodes = (ways - 1) as usize;
-    let base = set as usize * nodes;
     // Implicit binary tree: node 0 is the root; the subtree of node i at
     // depth d covers a contiguous way range of size ways >> d.
-    let mut node = 0usize;
+    let mut x = *word;
+    let mut node = 0u32;
     let mut lo = 0u32;
     let mut size = ways;
     while size > 1 {
         let half = size / 2;
-        let go_right = way >= lo + half;
-        // Bit semantics: true means "the LRU side is the left". Touching
+        // Bit semantics: set means "the LRU side is the left". Touching
         // the right subtree makes the left side LRU, and vice versa.
-        bits[base + node] = go_right;
-        node = 2 * node + if go_right { 2 } else { 1 };
+        let go_right = way >= lo + half;
         if go_right {
+            x |= 1 << node;
             lo += half;
+            node = 2 * node + 2;
+        } else {
+            x &= !(1 << node);
+            node = 2 * node + 1;
         }
         size = half;
     }
+    *word = x;
 }
 
-/// Walks the PLRU tree towards the LRU side, constrained to `allowed`.
-fn plru_victim(bits: &[bool], set: u64, ways: u32, allowed: WayMask) -> u32 {
+/// Walks one set's PLRU tree word towards the LRU side, constrained to
+/// `allowed`.
+fn plru_victim(word: u64, ways: u32, allowed: WayMask) -> u32 {
     if ways < 2 {
         return 0;
     }
-    let nodes = (ways - 1) as usize;
-    let base = set as usize * nodes;
-    let mut node = 0usize;
+    let mut node = 0u32;
     let mut lo = 0u32;
     let mut size = ways;
     while size > 1 {
@@ -250,7 +439,7 @@ fn plru_victim(bits: &[bool], set: u64, ways: u32, allowed: WayMask) -> u32 {
         let right = WayMask::range(lo + half, lo + size).intersection(allowed);
         // Prefer the tree's indicated LRU side, but only descend into a
         // subtree that still contains an allowed way.
-        let prefer_left = bits[base + node];
+        let prefer_left = word & (1 << node) != 0;
         let go_right = if prefer_left {
             left.is_empty()
         } else {
@@ -399,6 +588,41 @@ mod tests {
     fn victim_from_empty_mask_panics() {
         let mut st = ReplacementState::new(ReplacementPolicy::Lru, 1, 4);
         st.victim(0, 4, WayMask::EMPTY);
+    }
+
+    #[test]
+    fn evict_and_fill_matches_victim_then_on_fill() {
+        let policies = [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random { seed: 77 },
+            ReplacementPolicy::Nru,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Srrip,
+        ];
+        for policy in policies {
+            let mut split = ReplacementState::new(policy, 2, WAYS);
+            for set in 0..2u64 {
+                for w in 0..WAYS {
+                    split.on_fill(set, WAYS, w);
+                }
+            }
+            split.on_hit(0, WAYS, 3);
+            split.on_hit(1, WAYS, 6);
+            let mut fused = split.clone();
+            for round in 0..64u64 {
+                let set = round % 2;
+                let allowed = if round % 3 == 0 {
+                    WayMask::range(2, 7)
+                } else {
+                    full()
+                };
+                let vs = split.victim(set, WAYS, allowed);
+                split.on_fill(set, WAYS, vs);
+                let vf = fused.evict_and_fill(set, WAYS, allowed);
+                assert_eq!(vs, vf, "{policy:?} diverged at round {round}");
+            }
+        }
     }
 
     #[test]

@@ -65,7 +65,10 @@ impl CacheStats {
         &self.by_mode[mode.index()]
     }
 
-    /// Mutable counters for one requester mode.
+    /// Mutable counters for one requester mode. The access hot path
+    /// writes `by_mode` directly (one counter-block write per access);
+    /// this accessor remains for tests and cold paths.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn mode_mut(&mut self, mode: Mode) -> &mut ModeCounters {
         &mut self.by_mode[mode.index()]
     }

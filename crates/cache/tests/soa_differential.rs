@@ -1,0 +1,570 @@
+//! Differential property suite: the structure-of-arrays cache engine
+//! against a retained array-of-structs reference model.
+//!
+//! The production [`SetAssocCache`] stores block state split into hot
+//! (tags, signatures, valid/dirty bitmasks) and cold (metadata records)
+//! arrays with fused policy dispatch and SWAR scans. This suite keeps a
+//! deliberately naive one-struct-per-block model with straightforward
+//! per-way loops and checks — over randomized geometries, policies, way
+//! masks, and operation sequences — that the two produce the identical
+//! [`AccessResult`] / [`EvictedBlock`] stream, the identical probe
+//! answers, and the identical final [`CacheStats`] and occupancy.
+
+use moca_cache::{
+    AccessResult, BlockView, CacheGeometry, CacheStats, EvictedBlock, ReplacementPolicy,
+    SetAssocCache, WayMask,
+};
+use moca_testkit::{check, require, require_eq, Config, TestRng};
+use moca_trace::Mode;
+
+// ---------------------------------------------------------------------------
+// Reference replacement policies: per-block flat arrays, plain loops.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum RefPolicy {
+    /// LRU and FIFO share timestamp storage; only LRU refreshes on hits.
+    Stamped { lru: bool, stamps: Vec<u64>, clock: u64 },
+    Random { state: u64 },
+    Nru { referenced: Vec<bool> },
+    /// Tree PLRU, one boolean per tree node per set. `true` means "the
+    /// LRU side is the left subtree".
+    Plru { nodes: Vec<bool>, ways: u32 },
+    Srrip { rrpv: Vec<u8> },
+}
+
+impl RefPolicy {
+    fn new(policy: ReplacementPolicy, sets: u64, ways: u32) -> Self {
+        let n = sets as usize * ways as usize;
+        match policy {
+            ReplacementPolicy::Lru => RefPolicy::Stamped {
+                lru: true,
+                stamps: vec![0; n],
+                clock: 0,
+            },
+            ReplacementPolicy::Fifo => RefPolicy::Stamped {
+                lru: false,
+                stamps: vec![0; n],
+                clock: 0,
+            },
+            ReplacementPolicy::Random { seed } => RefPolicy::Random { state: seed | 1 },
+            ReplacementPolicy::Nru => RefPolicy::Nru {
+                referenced: vec![false; n],
+            },
+            ReplacementPolicy::TreePlru => RefPolicy::Plru {
+                nodes: vec![false; sets as usize * ways as usize],
+                ways,
+            },
+            ReplacementPolicy::Srrip => RefPolicy::Srrip { rrpv: vec![3; n] },
+        }
+    }
+
+    fn on_hit(&mut self, set: u64, ways: u32, way: u32) {
+        let i = set as usize * ways as usize + way as usize;
+        match self {
+            RefPolicy::Stamped { lru, stamps, clock } => {
+                if *lru {
+                    *clock += 1;
+                    stamps[i] = *clock;
+                }
+            }
+            RefPolicy::Random { .. } => {}
+            RefPolicy::Nru { referenced } => referenced[i] = true,
+            RefPolicy::Plru { nodes, ways } => {
+                let w = *ways;
+                plru_touch(set_nodes(nodes, set, w), w, way);
+            }
+            RefPolicy::Srrip { rrpv } => rrpv[i] = 0,
+        }
+    }
+
+    fn on_fill(&mut self, set: u64, ways: u32, way: u32) {
+        let i = set as usize * ways as usize + way as usize;
+        match self {
+            RefPolicy::Stamped { stamps, clock, .. } => {
+                *clock += 1;
+                stamps[i] = *clock;
+            }
+            RefPolicy::Random { .. } => {}
+            RefPolicy::Nru { referenced } => referenced[i] = true,
+            RefPolicy::Plru { nodes, ways } => {
+                let w = *ways;
+                plru_touch(set_nodes(nodes, set, w), w, way);
+            }
+            RefPolicy::Srrip { rrpv } => rrpv[i] = 2,
+        }
+    }
+
+    fn victim(&mut self, set: u64, ways: u32, allowed: WayMask) -> u32 {
+        let base = set as usize * ways as usize;
+        match self {
+            RefPolicy::Stamped { stamps, .. } => allowed
+                .iter()
+                .min_by_key(|&w| stamps[base + w as usize])
+                .expect("non-empty mask"),
+            RefPolicy::Random { state } => {
+                let mut x = *state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *state = x;
+                let nth = (x % u64::from(allowed.count())) as usize;
+                allowed.iter().nth(nth).expect("nth < count")
+            }
+            RefPolicy::Nru { referenced } => {
+                if let Some(w) = allowed.iter().find(|&w| !referenced[base + w as usize]) {
+                    return w;
+                }
+                for w in allowed.iter() {
+                    referenced[base + w as usize] = false;
+                }
+                allowed.lowest().expect("non-empty mask")
+            }
+            RefPolicy::Plru { nodes, ways } => {
+                let w = *ways;
+                plru_victim(set_nodes(nodes, set, w), w, allowed)
+            }
+            RefPolicy::Srrip { rrpv } => loop {
+                if let Some(w) = allowed.iter().find(|&w| rrpv[base + w as usize] >= 3) {
+                    return w;
+                }
+                for w in allowed.iter() {
+                    rrpv[base + w as usize] += 1;
+                }
+            },
+        }
+    }
+}
+
+fn set_nodes(nodes: &mut [bool], set: u64, ways: u32) -> &mut [bool] {
+    let base = set as usize * ways as usize;
+    &mut nodes[base..base + ways as usize]
+}
+
+fn plru_touch(nodes: &mut [bool], ways: u32, way: u32) {
+    let mut node = 0usize;
+    let mut lo = 0u32;
+    let mut size = ways;
+    while size > 1 {
+        let half = size / 2;
+        let go_right = way >= lo + half;
+        nodes[node] = go_right;
+        if go_right {
+            lo += half;
+            node = 2 * node + 2;
+        } else {
+            node = 2 * node + 1;
+        }
+        size = half;
+    }
+}
+
+fn plru_victim(nodes: &mut [bool], ways: u32, allowed: WayMask) -> u32 {
+    if ways < 2 {
+        return 0;
+    }
+    let mut node = 0usize;
+    let mut lo = 0u32;
+    let mut size = ways;
+    while size > 1 {
+        let half = size / 2;
+        let left = WayMask::range(lo, lo + half).intersection(allowed);
+        let right = WayMask::range(lo + half, lo + size).intersection(allowed);
+        let prefer_left = nodes[node];
+        let go_right = if prefer_left {
+            left.is_empty()
+        } else {
+            !right.is_empty()
+        };
+        node = 2 * node + if go_right { 2 } else { 1 };
+        if go_right {
+            lo += half;
+        }
+        size = half;
+    }
+    lo
+}
+
+// ---------------------------------------------------------------------------
+// Reference cache: one struct per block.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RefBlock {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    owner_kernel: bool,
+    inserted_at: u64,
+    last_touch: u64,
+    last_write: u64,
+    access_count: u64,
+}
+
+#[derive(Debug, Clone)]
+struct RefCache {
+    sets: u64,
+    ways: u32,
+    set_mask: u64,
+    tag_shift: u32,
+    blocks: Vec<RefBlock>,
+    policy: RefPolicy,
+    stats: CacheStats,
+}
+
+impl RefCache {
+    fn new(sets: u64, ways: u32, policy: ReplacementPolicy) -> Self {
+        RefCache {
+            sets,
+            ways,
+            set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
+            blocks: vec![RefBlock::default(); sets as usize * ways as usize],
+            policy: RefPolicy::new(policy, sets, ways),
+            stats: CacheStats::new(),
+        }
+    }
+
+    fn idx(&self, set: u64, way: u32) -> usize {
+        set as usize * self.ways as usize + way as usize
+    }
+
+    fn owner(b: &RefBlock) -> Mode {
+        if b.owner_kernel {
+            Mode::Kernel
+        } else {
+            Mode::User
+        }
+    }
+
+    fn evicted(&self, set: u64, way: u32) -> EvictedBlock {
+        let b = &self.blocks[self.idx(set, way)];
+        EvictedBlock {
+            line: (b.tag << self.tag_shift) | set,
+            dirty: b.dirty,
+            owner: Self::owner(b),
+            inserted_at: b.inserted_at,
+            last_touch: b.last_touch,
+            last_write: b.last_write,
+            access_count: b.access_count,
+        }
+    }
+
+    fn access(&mut self, line: u64, write: bool, mode: Mode, now: u64, mask: WayMask) -> AccessResult {
+        let set = line & self.set_mask;
+        let tag = line >> self.tag_shift;
+        for way in mask.iter() {
+            let i = self.idx(set, way);
+            if self.blocks[i].valid && self.blocks[i].tag == tag {
+                let b = &mut self.blocks[i];
+                if write {
+                    b.dirty = true;
+                    b.last_write = now;
+                }
+                b.last_touch = now;
+                b.access_count += 1;
+                self.policy.on_hit(set, self.ways, way);
+                self.stats.by_mode[mode.index()].hits += 1;
+                self.stats.by_mode[mode.index()].writes += u64::from(write);
+                return AccessResult {
+                    hit: true,
+                    way,
+                    victim: None,
+                };
+            }
+        }
+
+        let empty = mask.iter().find(|&w| !self.blocks[self.idx(set, w)].valid);
+        let (way, victim) = match empty {
+            Some(w) => (w, None),
+            None => {
+                let w = self.policy.victim(set, self.ways, mask);
+                let ev = self.evicted(set, w);
+                if ev.owner == mode {
+                    self.stats.same_evictions[ev.owner.index()] += 1;
+                } else {
+                    self.stats.cross_evictions[ev.owner.index()] += 1;
+                }
+                (w, Some(ev))
+            }
+        };
+        self.policy.on_fill(set, self.ways, way);
+        let i = self.idx(set, way);
+        self.blocks[i] = RefBlock {
+            valid: true,
+            dirty: write,
+            tag,
+            owner_kernel: mode == Mode::Kernel,
+            inserted_at: now,
+            last_touch: now,
+            last_write: now,
+            access_count: 1,
+        };
+        let c = &mut self.stats.by_mode[mode.index()];
+        c.misses += 1;
+        c.fills += 1;
+        c.writes += u64::from(write);
+        c.writebacks += u64::from(victim.is_some_and(|v| v.dirty));
+        AccessResult {
+            hit: false,
+            way,
+            victim,
+        }
+    }
+
+    fn probe(&self, line: u64, mask: WayMask) -> Option<BlockView> {
+        let set = line & self.set_mask;
+        let tag = line >> self.tag_shift;
+        for way in mask.iter() {
+            let b = &self.blocks[self.idx(set, way)];
+            if b.valid && b.tag == tag {
+                return Some(BlockView {
+                    line: (b.tag << self.tag_shift) | set,
+                    dirty: b.dirty,
+                    owner: Self::owner(b),
+                    inserted_at: b.inserted_at,
+                    last_touch: b.last_touch,
+                    last_write: b.last_write,
+                    access_count: b.access_count,
+                });
+            }
+        }
+        None
+    }
+
+    fn invalidate_line(&mut self, line: u64, mask: WayMask) -> Option<EvictedBlock> {
+        let set = line & self.set_mask;
+        let tag = line >> self.tag_shift;
+        for way in mask.iter() {
+            let i = self.idx(set, way);
+            if self.blocks[i].valid && self.blocks[i].tag == tag {
+                let ev = self.evicted(set, way);
+                self.blocks[i].valid = false;
+                self.stats.invalidations += 1;
+                return Some(ev);
+            }
+        }
+        None
+    }
+
+    fn occupancy(&self, mask: WayMask) -> u64 {
+        (0..self.sets)
+            .flat_map(|set| mask.iter().map(move |w| (set, w)))
+            .filter(|&(set, w)| w < self.ways && self.blocks[self.idx(set, w)].valid)
+            .count() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Case generation.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access {
+        line: u64,
+        write: bool,
+        kernel: bool,
+        mask_pick: u8,
+    },
+    Probe {
+        line: u64,
+        mask_pick: u8,
+    },
+    InvalidateLine {
+        line: u64,
+        mask_pick: u8,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    sets: u64,
+    ways: u32,
+    policy: ReplacementPolicy,
+    /// Three reusable non-empty masks the ops pick from; mixing masks in
+    /// one run exercises partition-style overlapping footprints.
+    masks: [WayMask; 3],
+    ops: Vec<Op>,
+}
+
+fn arb_policy(rng: &mut TestRng) -> ReplacementPolicy {
+    match rng.range_usize(0, 6) {
+        0 => ReplacementPolicy::Lru,
+        1 => ReplacementPolicy::Fifo,
+        2 => ReplacementPolicy::Random {
+            seed: rng.range_u64(1, 1 << 20),
+        },
+        3 => ReplacementPolicy::Nru,
+        4 => ReplacementPolicy::TreePlru,
+        _ => ReplacementPolicy::Srrip,
+    }
+}
+
+fn arb_mask(rng: &mut TestRng, ways: u32) -> WayMask {
+    let full = WayMask::first(ways);
+    if ways == 1 || rng.range_usize(0, 3) == 0 {
+        return full;
+    }
+    // A random non-empty subset of the legal ways.
+    let bits = rng.range_u64(1, 1 << ways);
+    let m = WayMask::from_bits(bits).intersection(full);
+    if m.is_empty() {
+        full
+    } else {
+        m
+    }
+}
+
+fn arb_case(rng: &mut TestRng) -> Case {
+    let sets = 1u64 << rng.range_u32(1, 5); // 2..16 sets
+    let ways = 1u32 << rng.range_u32(0, 4); // 1..8 ways (pow2 for PLRU)
+    let policy = arb_policy(rng);
+    let masks = [
+        arb_mask(rng, ways),
+        arb_mask(rng, ways),
+        arb_mask(rng, ways),
+    ];
+    // A small line universe (a few times the capacity) forces conflicts
+    // and evictions without making every access a cold miss.
+    let universe = sets * u64::from(ways) * 3;
+    let ops = rng.vec(50, 400, |r| {
+        let line = r.range_u64(0, universe);
+        let mask_pick = r.range_u64(0, 3) as u8;
+        match r.range_usize(0, 10) {
+            0 => Op::Probe { line, mask_pick },
+            1 => Op::InvalidateLine { line, mask_pick },
+            _ => Op::Access {
+                line,
+                write: r.bool(),
+                kernel: r.bool(),
+                mask_pick,
+            },
+        }
+    });
+    Case {
+        sets,
+        ways,
+        policy,
+        masks,
+        ops,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The differential property.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn soa_engine_matches_reference_model() {
+    check(Config::cases(96), arb_case, |case| {
+        let geom = CacheGeometry::new(case.sets * u64::from(case.ways) * 64, case.ways, 64)
+            .expect("generated geometry is valid");
+        let mut soa = SetAssocCache::new(geom, case.policy);
+        let mut reference = RefCache::new(case.sets, case.ways, case.policy);
+
+        for (i, op) in case.ops.iter().enumerate() {
+            let now = i as u64;
+            match *op {
+                Op::Access {
+                    line,
+                    write,
+                    kernel,
+                    mask_pick,
+                } => {
+                    let mode = if kernel { Mode::Kernel } else { Mode::User };
+                    let mask = case.masks[mask_pick as usize];
+                    let got = soa.access(line, write, mode, now, mask);
+                    let want = reference.access(line, write, mode, now, mask);
+                    require_eq!(got, want, "access #{i} diverged ({:?})", case.policy);
+                }
+                Op::Probe { line, mask_pick } => {
+                    let mask = case.masks[mask_pick as usize];
+                    require_eq!(
+                        soa.probe(line, mask),
+                        reference.probe(line, mask),
+                        "probe #{i} diverged"
+                    );
+                }
+                Op::InvalidateLine { line, mask_pick } => {
+                    let mask = case.masks[mask_pick as usize];
+                    require_eq!(
+                        soa.invalidate_line(line, mask),
+                        reference.invalidate_line(line, mask),
+                        "invalidate #{i} diverged"
+                    );
+                }
+            }
+        }
+
+        require_eq!(*soa.stats(), reference.stats, "final stats diverged");
+        for mask in case.masks {
+            require_eq!(soa.occupancy(mask), reference.occupancy(mask));
+        }
+        // Every resident block agrees in both directions: the SoA view of
+        // each valid slot matches the reference's, and the counts match,
+        // so neither holds blocks the other lacks.
+        let mut soa_valid = 0u64;
+        for (set, way, view) in soa.iter_valid() {
+            soa_valid += 1;
+            let i = reference.idx(set, way);
+            let b = &reference.blocks[i];
+            require!(b.valid, "slot ({set},{way}) valid only in the SoA engine");
+            let want = BlockView {
+                line: (b.tag << reference.tag_shift) | set,
+                dirty: b.dirty,
+                owner: RefCache::owner(b),
+                inserted_at: b.inserted_at,
+                last_touch: b.last_touch,
+                last_write: b.last_write,
+                access_count: b.access_count,
+            };
+            require_eq!(view, want, "slot ({set},{way}) metadata diverged");
+        }
+        require_eq!(soa_valid, reference.occupancy(WayMask::first(case.ways)));
+        Ok(())
+    });
+}
+
+/// The same differential run driven with a single fixed mask per case,
+/// shaped like the paper's partitioned workloads: two disjoint segment
+/// masks with each mode confined to its own segment.
+#[test]
+fn soa_engine_matches_reference_under_partitioning() {
+    check(
+        Config::cases(48),
+        |rng| {
+            let sets = 1u64 << rng.range_u32(1, 4);
+            let ways = 4u32 * (1 << rng.range_u32(0, 2)); // 4 or 8
+            let split = rng.range_u32(1, ways);
+            let policy = arb_policy(rng);
+            let universe = sets * u64::from(ways) * 3;
+            let accesses = rng.vec(100, 400, |r| {
+                (r.range_u64(0, universe), r.bool(), r.bool())
+            });
+            (sets, ways, split, policy, accesses)
+        },
+        |&(sets, ways, split, policy, ref accesses)| {
+            let geom = CacheGeometry::new(sets * u64::from(ways) * 64, ways, 64)
+                .expect("generated geometry is valid");
+            let user = WayMask::range(0, split);
+            let kernel = WayMask::range(split, ways);
+            let mut soa = SetAssocCache::new(geom, policy);
+            let mut reference = RefCache::new(sets, ways, policy);
+            for (i, &(line, write, is_kernel)) in accesses.iter().enumerate() {
+                let (mode, mask) = if is_kernel {
+                    (Mode::Kernel, kernel)
+                } else {
+                    (Mode::User, user)
+                };
+                let got = soa.access(line, write, mode, i as u64, mask);
+                let want = reference.access(line, write, mode, i as u64, mask);
+                require_eq!(got, want, "access #{i} diverged ({policy:?})");
+            }
+            require_eq!(*soa.stats(), reference.stats);
+            // Partitioned segments never cross-evict.
+            require_eq!(soa.stats().cross_evictions, [0, 0]);
+            Ok(())
+        },
+    );
+}

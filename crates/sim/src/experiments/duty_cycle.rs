@@ -30,14 +30,14 @@ fn run_at_duty(design: L2Design, refs: usize, duty: f64) -> crate::metrics::SimR
     let mut sys =
         System::new(app.name, design, SystemConfig::default()).expect("valid design");
     let mut gen = TraceGenerator::new(&app, EXPERIMENT_SEED);
+    // One chunk per burst: the buffer's capacity sets the fill size.
+    let mut chunk = Vec::with_capacity(BURST_REFS);
     let mut done = 0usize;
     while done < refs {
         let burst = BURST_REFS.min(refs - done);
         let start = sys.cycles();
-        for _ in 0..burst {
-            let a = gen.next().expect("generator is infinite");
-            sys.step(&a);
-        }
+        gen.fill(&mut chunk);
+        sys.run_batch(&chunk[..burst]);
         done += burst;
         // Pad the burst's active time with idle so active/total = duty.
         let active = sys.cycles() - start;

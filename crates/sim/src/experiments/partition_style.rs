@@ -30,23 +30,30 @@ fn run_set_partitioned(app: &AppProfile, refs: usize) -> (f64, f64, u64) {
     let mut l1 = L1Pair::mobile_default();
     let mut l2 = SetPartitionedL2::new(1024, 512, 16, &L2BaseParams::default())
         .expect("static geometry is valid");
-    for a in TraceGenerator::new(app, EXPERIMENT_SEED).take(refs) {
-        let now = core.cycle();
-        let out = l1.filter(&a, now);
-        let mut stall = 0;
-        if let Some(d) = out.demand {
-            let resp = l2.request(&d, now);
-            stall = resp.latency_cycles
-                + if resp.dram_read {
-                    cfg.dram_latency_cycles
-                } else {
-                    0
-                };
+    let mut gen = TraceGenerator::new(app, EXPERIMENT_SEED);
+    let mut chunk = Vec::with_capacity(TraceGenerator::DEFAULT_CHUNK);
+    let mut left = refs;
+    while left > 0 {
+        let n = gen.fill(&mut chunk).min(left);
+        for a in &chunk[..n] {
+            let now = core.cycle();
+            let out = l1.filter(a, now);
+            let mut stall = 0;
+            if let Some(d) = out.demand {
+                let resp = l2.request(&d, now);
+                stall = resp.latency_cycles
+                    + if resp.dram_read {
+                        cfg.dram_latency_cycles
+                    } else {
+                        0
+                    };
+            }
+            if let Some(wb) = out.writeback {
+                l2.request(&wb, now);
+            }
+            core.retire(stall);
         }
-        if let Some(wb) = out.writeback {
-            l2.request(&wb, now);
-        }
-        core.retire(stall);
+        left -= n;
     }
     l2.finalize(core.cycle());
     let miss = l2.stats().miss_rate();

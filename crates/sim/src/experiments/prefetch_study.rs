@@ -27,7 +27,8 @@ fn run(app: &AppProfile, design: L2Design, refs: usize, prefetch: bool) -> SimRe
         ..SystemConfig::default()
     };
     let mut sys = System::new(app.name, design, cfg).expect("valid design");
-    sys.run(moca_trace::TraceGenerator::new(app, EXPERIMENT_SEED).take(refs));
+    let mut gen = moca_trace::TraceGenerator::new(app, EXPERIMENT_SEED);
+    sys.run_generated(&mut gen, refs);
     sys.finish()
 }
 

@@ -34,15 +34,22 @@ fn run_at(design: L2Design, temp_c: f64, refs: usize) -> (f64, f64) {
     let mut l1 = L1Pair::mobile_default();
     let mut l2 = MobileL2::new(design, params).expect("valid design");
     let mut now = 0u64;
-    for a in TraceGenerator::new(&app, EXPERIMENT_SEED).take(refs) {
-        now += 2;
-        let out = l1.filter(&a, now);
-        for req in [out.demand, out.writeback].into_iter().flatten() {
-            let resp = l2.request(&req, now);
-            if resp.dram_read {
-                now += 120;
+    let mut gen = TraceGenerator::new(&app, EXPERIMENT_SEED);
+    let mut chunk = Vec::with_capacity(TraceGenerator::DEFAULT_CHUNK);
+    let mut left = refs;
+    while left > 0 {
+        let n = gen.fill(&mut chunk).min(left);
+        for a in &chunk[..n] {
+            now += 2;
+            let out = l1.filter(a, now);
+            for req in [out.demand, out.writeback].into_iter().flatten() {
+                let resp = l2.request(&req, now);
+                if resp.dram_read {
+                    now += 120;
+                }
             }
         }
+        left -= n;
     }
     l2.finalize(now);
     let e = l2.energy();

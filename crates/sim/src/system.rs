@@ -4,7 +4,7 @@ use moca_cache::stats::CacheStats;
 use moca_cache::{GeometryError, L1Pair};
 use moca_core::{DesignError, L2BaseParams, L2Design, MobileL2};
 use moca_energy::Energy;
-use moca_trace::{MemoryAccess, Mode};
+use moca_trace::{MemoryAccess, Mode, TraceGenerator};
 
 use crate::config::SystemConfig;
 use crate::cpu::InOrderCore;
@@ -175,6 +175,10 @@ impl System {
     }
 
     /// Runs an entire trace (or any iterator of references).
+    ///
+    /// For references coming out of a [`TraceGenerator`], prefer
+    /// [`System::run_generated`], which streams chunked batches through a
+    /// reused buffer instead of pulling one access at a time.
     pub fn run<I>(&mut self, trace: I) -> u64
     where
         I: IntoIterator<Item = MemoryAccess>,
@@ -185,6 +189,36 @@ impl System {
             n += 1;
         }
         n
+    }
+
+    /// Processes a contiguous batch of references.
+    ///
+    /// Semantically one [`System::step`] per access; this is the hot-path
+    /// entry for callers that stage references in a reused buffer (see
+    /// [`TraceGenerator::fill`]).
+    pub fn run_batch(&mut self, batch: &[MemoryAccess]) -> u64 {
+        for a in batch {
+            self.step(a);
+        }
+        batch.len() as u64
+    }
+
+    /// Runs exactly `refs` references drawn from `gen`, staged through an
+    /// internal reused chunk buffer.
+    ///
+    /// Produces the same simulation state as `run(gen.take(refs))` — the
+    /// first `refs` accesses of the stream are processed in order — but
+    /// without per-access iterator overhead. The generator may be left
+    /// advanced by up to one chunk beyond `refs`.
+    pub fn run_generated(&mut self, gen: &mut TraceGenerator, refs: usize) -> u64 {
+        let mut chunk = Vec::with_capacity(TraceGenerator::DEFAULT_CHUNK.min(refs.max(1)));
+        let mut left = refs;
+        while left > 0 {
+            let n = gen.fill(&mut chunk).min(left);
+            self.run_batch(&chunk[..n]);
+            left -= n;
+        }
+        refs as u64
     }
 
     /// Finalizes accounting and produces the report.
@@ -329,6 +363,30 @@ mod tests {
         let r = sys.finish();
         assert!(r.behavior(Mode::User).reuse.total() > 0);
         assert!(r.behavior(Mode::Kernel).reuse.total() > 0);
+    }
+
+    #[test]
+    fn run_generated_matches_iterator_run() {
+        let app = AppProfile::music();
+        // Deliberately not a multiple of the chunk size.
+        let refs = 70_001usize;
+
+        let mut by_iter =
+            System::new("music", L2Design::baseline(), SystemConfig::default()).expect("valid");
+        by_iter.run(TraceGenerator::new(&app, 9).take(refs));
+        let a = by_iter.finish();
+
+        let mut by_batch =
+            System::new("music", L2Design::baseline(), SystemConfig::default()).expect("valid");
+        let mut gen = TraceGenerator::new(&app, 9);
+        assert_eq!(by_batch.run_generated(&mut gen, refs), refs as u64);
+        let b = by_batch.finish();
+
+        assert_eq!(a.refs, b.refs);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l1_stats, b.l1_stats);
+        assert_eq!(a.l2_stats, b.l2_stats);
+        assert_eq!(a.traffic, b.traffic);
     }
 
     #[test]

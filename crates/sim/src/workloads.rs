@@ -54,8 +54,8 @@ pub const EXPERIMENT_SEED: u64 = 0x5EED_2015;
 pub fn run_app(app: &AppProfile, design: L2Design, refs: usize, seed: u64) -> SimReport {
     let mut sys = System::new(app.name, design, SystemConfig::default())
         .expect("experiment design must be valid");
-    let trace = TraceGenerator::new(app, seed).take(refs);
-    sys.run(trace);
+    let mut gen = TraceGenerator::new(app, seed);
+    sys.run_generated(&mut gen, refs);
     sys.finish()
 }
 
@@ -73,8 +73,8 @@ pub fn run_app_with_behavior(
     let mut sys = System::new(app.name, design, SystemConfig::default())
         .expect("experiment design must be valid")
         .with_behavior_probe();
-    let trace = TraceGenerator::new(app, seed).take(refs);
-    sys.run(trace);
+    let mut gen = TraceGenerator::new(app, seed);
+    sys.run_generated(&mut gen, refs);
     sys.finish()
 }
 

@@ -1,0 +1,140 @@
+//! A fixed-seed, in-tree FxHash-style hasher.
+//!
+//! `std`'s default `HashMap` hasher (SipHash with per-process random
+//! keys) is both slower than necessary for trusted integer keys and
+//! randomly seeded, so iteration order varies across runs. Trace
+//! analysis hashes millions of cache-line addresses it generated itself
+//! — there is no untrusted input to defend against — so we use the
+//! multiply-rotate scheme popularized by the `rustc` FxHash: one
+//! rotate, one xor, and one multiply per 8 bytes, with no seed state at
+//! all. Everything derived from these maps is identical from run to run.
+//!
+//! This is a hash for *dispersion*, not for security: do not use it on
+//! attacker-controlled keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier from the Firefox/rustc FxHash (64-bit golden-ratio
+/// constant truncated to keep the low bits well mixed).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A streaming FxHash state.
+///
+/// One `rotate_left(5) ^ word` then `* SEED` per 8-byte word; shorter
+/// tails are zero-extended into a single word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// Builds [`FxHasher`]s; stateless, so every map hashes identically.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fixed-seed [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fixed-seed [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_one(0xDEAD_BEEFu64), hash_one(0xDEAD_BEEFu64));
+        assert_eq!(hash_one("kernel"), hash_one("kernel"));
+    }
+
+    #[test]
+    fn nearby_keys_disperse() {
+        // Cache-line addresses differ only in low bits; the high bits of
+        // the hash (which HashMap uses for bucket selection after
+        // truncation) must still vary.
+        let hashes: Vec<u64> = (0..64u64).map(|i| hash_one(i * 64)).collect();
+        let mut unique = hashes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), hashes.len(), "collisions on line addresses");
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_aligned_input() {
+        let mut a = FxHasher::default();
+        a.write(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(0x0123_4567_89AB_CDEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_usable_with_default() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        m.insert(1, 2);
+        m.insert(65, 3);
+        assert_eq!(m.get(&1), Some(&2));
+        assert_eq!(m.get(&65), Some(&3));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn empty_input_hashes_to_zero_state() {
+        assert_eq!(FxHasher::default().finish(), 0);
+    }
+}

@@ -17,8 +17,6 @@
 //! assert!(kernel > 0, "interactive apps enter the kernel constantly");
 //! ```
 
-use std::collections::VecDeque;
-
 use crate::access::{AccessKind, MemoryAccess, Mode};
 use crate::apps::{layout, AppProfile};
 use crate::kernel::{KernelModel, Service};
@@ -48,7 +46,11 @@ pub struct TraceGenerator {
     stack: RegionStream,
     kernel: KernelModel,
     rng: Xoshiro256,
-    buf: VecDeque<MemoryAccess>,
+    /// Generated-ahead accesses; `buf[pos..]` is the unconsumed tail.
+    /// A plain `Vec` plus cursor (rather than a `VecDeque`) keeps the
+    /// storage contiguous so [`TraceGenerator::fill`] can memcpy it out.
+    buf: Vec<MemoryAccess>,
+    pos: usize,
     refs_until_tick: i64,
     last_pc: u64,
     syscall_services: Vec<Service>,
@@ -108,7 +110,8 @@ impl TraceGenerator {
             stack,
             kernel,
             rng,
-            buf: VecDeque::with_capacity(8192),
+            buf: Vec::with_capacity(Self::DEFAULT_CHUNK),
+            pos: 0,
             refs_until_tick: tick,
             last_pc: layout::CODE_BASE,
             syscall_services,
@@ -151,7 +154,7 @@ impl TraceGenerator {
                 };
                 MemoryAccess::new(addr, self.last_pc, kind, Mode::User)
             };
-            self.buf.push_back(access);
+            self.buf.push(access);
         }
         len
     }
@@ -169,13 +172,51 @@ impl TraceGenerator {
         self.syscall_services[i]
     }
 
+    /// Regenerates the buffer: one user run followed by one kernel burst,
+    /// written in place (no per-access queue shuffling, no temporaries).
+    ///
+    /// Must only be called once the previous buffer is fully consumed.
     fn refill(&mut self) {
+        debug_assert!(self.pos >= self.buf.len(), "refill with unconsumed accesses");
+        self.buf.clear();
+        self.pos = 0;
         let user = self.emit_user_run();
         let service = self.pick_kernel_entry();
-        let mut burst = Vec::new();
-        let kernel = self.kernel.emit_burst(service, &mut self.rng, &mut burst);
-        self.buf.extend(burst);
+        let kernel = self
+            .kernel
+            .emit_burst(service, &mut self.rng, &mut self.buf);
         self.refs_until_tick -= (user + kernel) as i64;
+    }
+
+    /// Default number of accesses [`TraceGenerator::fill`] produces into
+    /// a buffer with no reserved capacity.
+    pub const DEFAULT_CHUNK: usize = 8192;
+
+    /// Fills `out` (cleared first) with the next chunk of the stream and
+    /// returns how many accesses were written.
+    ///
+    /// The chunk size is `out.capacity()`, or [`Self::DEFAULT_CHUNK`] if
+    /// the buffer has no capacity yet — so callers allocate once and
+    /// reuse the same buffer for every chunk. The stream is infinite, so
+    /// the buffer is always filled to the chunk size. Chunks are copied
+    /// out with `extend_from_slice` (a memcpy per generated run), not
+    /// one `next()` call per access; interleaving `fill` with the
+    /// [`Iterator`] interface is allowed and consumes the same stream.
+    pub fn fill(&mut self, out: &mut Vec<MemoryAccess>) -> usize {
+        out.clear();
+        if out.capacity() == 0 {
+            out.reserve(Self::DEFAULT_CHUNK);
+        }
+        let target = out.capacity();
+        while out.len() < target {
+            if self.pos >= self.buf.len() {
+                self.refill();
+            }
+            let take = (self.buf.len() - self.pos).min(target - out.len());
+            out.extend_from_slice(&self.buf[self.pos..self.pos + take]);
+            self.pos += take;
+        }
+        out.len()
     }
 }
 
@@ -183,10 +224,12 @@ impl Iterator for TraceGenerator {
     type Item = MemoryAccess;
 
     fn next(&mut self) -> Option<MemoryAccess> {
-        while self.buf.is_empty() {
+        if self.pos >= self.buf.len() {
             self.refill();
         }
-        self.buf.pop_front()
+        let access = self.buf[self.pos];
+        self.pos += 1;
+        Some(access)
     }
 }
 
@@ -278,6 +321,50 @@ mod tests {
                 .count();
             assert!(stores > 0, "{mode} should issue stores");
         }
+    }
+
+    #[test]
+    fn fill_matches_iterator_stream() {
+        let profile = AppProfile::by_name("browser").expect("known app");
+        let expected = sample("browser", 50_000, 21);
+
+        let mut gen = TraceGenerator::new(&profile, 21);
+        let mut chunk = Vec::with_capacity(4096);
+        let mut got = Vec::new();
+        while got.len() < expected.len() {
+            let n = gen.fill(&mut chunk);
+            assert_eq!(n, chunk.len());
+            assert_eq!(n, chunk.capacity(), "infinite stream fills to capacity");
+            got.extend_from_slice(&chunk);
+        }
+        got.truncate(expected.len());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn fill_defaults_chunk_size_for_empty_buffers() {
+        let profile = AppProfile::by_name("email").expect("known app");
+        let mut gen = TraceGenerator::new(&profile, 3);
+        let mut chunk = Vec::new();
+        assert_eq!(gen.fill(&mut chunk), TraceGenerator::DEFAULT_CHUNK);
+    }
+
+    #[test]
+    fn fill_interleaves_with_iterator() {
+        let profile = AppProfile::by_name("social").expect("known app");
+        let expected = sample("social", 3000, 9);
+
+        let mut gen = TraceGenerator::new(&profile, 9);
+        let mut got = Vec::new();
+        let mut chunk = Vec::with_capacity(1000);
+        got.extend(gen.by_ref().take(500));
+        gen.fill(&mut chunk);
+        got.extend_from_slice(&chunk);
+        got.extend(gen.by_ref().take(500));
+        gen.fill(&mut chunk);
+        got.extend_from_slice(&chunk);
+        got.truncate(expected.len());
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! * [`multiprog`] — time-sliced co-scheduling ([`multiprog::MultiProgrammed`]).
 //! * [`io`] — binary and text trace serialization.
 //! * [`stats`] — [`TraceStats`] trace summaries.
+//! * [`fxhash`] — fixed-seed hashing for deterministic analysis maps.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -43,6 +44,7 @@ pub mod access;
 pub mod apps;
 pub mod builder;
 pub mod chase;
+pub mod fxhash;
 pub mod generator;
 pub mod io;
 pub mod kernel;
@@ -55,6 +57,7 @@ pub mod stats;
 pub use access::{AccessKind, MemoryAccess, Mode};
 pub use apps::AppProfile;
 pub use builder::AppProfileBuilder;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use generator::TraceGenerator;
 pub use multiprog::MultiProgrammed;
 pub use phases::PhasedWorkload;

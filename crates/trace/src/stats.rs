@@ -7,9 +7,8 @@
 //! (claim C4): kernel lines are re-touched on very different time scales
 //! than user lines.
 
-use std::collections::HashMap;
-
 use crate::access::{MemoryAccess, Mode};
+use crate::fxhash::FxHashMap;
 
 #[cfg(test)]
 use crate::access::AccessKind;
@@ -94,8 +93,10 @@ impl TraceStats {
             line_bytes,
             ..TraceStats::default()
         };
-        // line -> (mode index at last touch irrelevant; track per mode last index)
-        let mut last_touch: HashMap<u64, u64> = HashMap::new();
+        // line -> index of its last touch. Keys are self-generated line
+        // addresses, so the fixed-seed FxHash map is safe and keeps the
+        // collection pass cheap and run-to-run identical.
+        let mut last_touch: FxHashMap<u64, u64> = FxHashMap::default();
         let mut prev_mode: Option<Mode> = None;
         for (index, a) in (0u64..).zip(trace) {
             let m = &mut stats.modes[a.mode.index()];

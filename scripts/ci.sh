@@ -14,9 +14,18 @@ echo "== build (release, offline) =="
 cargo build --release --offline
 
 echo "== tests (workspace, offline) =="
-cargo test -q --offline
+cargo test -q --offline --workspace
 
 echo "== bench smoke (1 iteration per target, offline) =="
 cargo bench -p moca-bench --offline -- --smoke
+
+echo "== bench regression guard (micro vs BENCH_micro.json) =="
+# Full 5-iteration run: the guard compares min_ns, and the fastest of 5
+# iterations is stable on a busy host where a single --smoke iteration
+# is not.
+mkdir -p target
+cargo bench -p moca-bench --offline --bench micro | tee target/bench_micro_current.txt
+cargo run -q --release -p moca-bench --offline --bin bench_guard -- \
+  BENCH_micro.json target/bench_micro_current.txt --max-regression 0.30
 
 echo "== ci.sh: all gates passed =="
