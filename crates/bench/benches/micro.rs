@@ -1,8 +1,13 @@
 //! Microbenchmarks of the substrates: trace generation throughput, the
-//! cache access path, L1 filtering, and the utility monitor.
+//! cache access path, L1 filtering, the utility monitor, the shared-trace
+//! fan-out sweep engine, and the chunk arena.
 
-use moca_bench::Runner;
+use moca_bench::{bench_app, Runner, BENCH_SEED};
 use moca_cache::{CacheGeometry, L1Pair, ReplacementPolicy, SetAssocCache, UtilityMonitor, WayMask};
+use moca_core::{L2Design, RefreshPolicy};
+use moca_energy::RetentionClass;
+use moca_sim::fanout::{fan_out, ChunkArena, TraceStream};
+use moca_sim::run_app;
 use moca_trace::{AppProfile, Mode, TraceGenerator};
 use std::hint::black_box;
 
@@ -81,11 +86,90 @@ fn utility_monitor(r: &mut Runner) {
     });
 }
 
+/// Eight designs spanning the sweep-shaped experiments: shared/partitioned
+/// SRAM, the STT retention family, and both dynamic variants.
+fn sweep_designs() -> [L2Design; 8] {
+    [
+        L2Design::baseline(),
+        L2Design::static_default(),
+        L2Design::dynamic_default(),
+        L2Design::SharedSram { ways: 4 },
+        L2Design::StaticSram {
+            user_ways: 8,
+            kernel_ways: 4,
+        },
+        L2Design::SharedStt {
+            ways: 16,
+            retention: RetentionClass::TenYears,
+            refresh: RefreshPolicy::InvalidateOnExpiry,
+        },
+        L2Design::StaticMultiRetention {
+            user_ways: 6,
+            kernel_ways: 4,
+            user_retention: RetentionClass::OneSecond,
+            kernel_retention: RetentionClass::TenMillis,
+            refresh: RefreshPolicy::Refresh,
+        },
+        L2Design::DynamicSram {
+            max_ways: 16,
+            min_ways: 1,
+            epoch_cycles: 500_000,
+        },
+    ]
+}
+
+fn sweep_fanout(r: &mut Runner) {
+    let app = bench_app();
+    let designs = sweep_designs();
+    const REFS: usize = 100_000;
+    // The pre-fan-out sweep shape: every design regenerates the trace.
+    r.throughput_elems((designs.len() * REFS) as u64);
+    r.bench("sweep-fanout/8-designs-100k-sequential", || {
+        let mut cycles = 0u64;
+        for &design in &designs {
+            cycles += run_app(&app, design, REFS, BENCH_SEED).cycles;
+        }
+        black_box(cycles)
+    });
+    // Shared-trace fan-out: one stream broadcast to all eight systems
+    // (the warmup iteration leaves the global arena warm, as any sweep
+    // after the first one in a process would find it).
+    r.throughput_elems((designs.len() * REFS) as u64);
+    r.bench("sweep-fanout/8-designs-100k", || {
+        let reports = fan_out(&app, &designs, REFS, BENCH_SEED);
+        black_box(reports.iter().map(|rep| rep.cycles).sum::<u64>())
+    });
+}
+
+fn chunk_arena(r: &mut Runner) {
+    let app = AppProfile::browser();
+    let arena = ChunkArena::with_capacity(32);
+    const REFS: usize = 100_000;
+    let replay = |arena: &ChunkArena| {
+        let mut stream = TraceStream::with_arena(&app, 1, arena);
+        let mut sum = 0u64;
+        let mut left = REFS;
+        while left > 0 {
+            let chunk = stream.next_chunk();
+            let n = chunk.len().min(left);
+            sum += chunk[..n].iter().map(|a| a.addr).sum::<u64>();
+            left -= n;
+        }
+        sum
+    };
+    replay(&arena); // populate: every later pass is pure hits
+    assert!(arena.stats().hit_rate() < 1.0);
+    r.throughput_elems(REFS as u64);
+    r.bench("chunk-arena/hit-rate", || black_box(replay(&arena)));
+}
+
 fn main() {
     let mut r = Runner::new("micro");
     trace_generation(&mut r);
     cache_access_path(&mut r);
     l1_filter(&mut r);
     utility_monitor(&mut r);
+    sweep_fanout(&mut r);
+    chunk_arena(&mut r);
     r.finish();
 }

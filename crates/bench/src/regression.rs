@@ -216,13 +216,44 @@ mod tests {
 
     #[test]
     fn shipped_baseline_file_parses() {
-        // Guards the committed BENCH_micro.json against format drift.
+        // Guards the committed BENCH_micro.json against format drift,
+        // and against silently dropping a guarded benchmark.
         let doc = include_str!("../../../BENCH_micro.json");
         let records = baseline_records(doc);
+        for required in [
+            "cache-access/lru",
+            "trace-generation/browser-100k-refs",
+            "sweep-fanout/8-designs-100k-sequential",
+            "sweep-fanout/8-designs-100k",
+            "chunk-arena/hit-rate",
+        ] {
+            assert!(
+                records.iter().any(|r| r.bench == required),
+                "BENCH_micro.json 'after' section must list {required}"
+            );
+        }
+        assert!(records.len() >= 10, "got {} records", records.len());
+    }
+
+    #[test]
+    fn shipped_baseline_records_fanout_speedup() {
+        // The fan-out acceptance criterion, pinned against the committed
+        // numbers: the shared-trace sweep must be recorded at >= 2x the
+        // throughput of the sequential per-design baseline (min_ns).
+        let doc = include_str!("../../../BENCH_micro.json");
+        let records = baseline_records(doc);
+        let min_of = |name: &str| {
+            records
+                .iter()
+                .find(|r| r.bench == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .min_ns as f64
+        };
+        let speedup =
+            min_of("sweep-fanout/8-designs-100k-sequential") / min_of("sweep-fanout/8-designs-100k");
         assert!(
-            records.iter().any(|r| r.bench == "cache-access/lru"),
-            "BENCH_micro.json 'after' section must list cache-access/lru"
+            speedup >= 2.0,
+            "recorded fan-out speedup {speedup:.2}x is below the 2x criterion"
         );
-        assert!(records.len() >= 6, "got {} records", records.len());
     }
 }

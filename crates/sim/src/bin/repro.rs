@@ -126,11 +126,20 @@ fn main() -> ExitCode {
     }
 
     println!("---");
+    let arena = moca_sim::ChunkArena::global().stats();
     println!(
         "{} experiments, {} failed claim set(s), wall time {:.1}s",
         results.len(),
         failed,
         start.elapsed().as_secs_f64()
+    );
+    println!(
+        "trace arena: {} chunk(s) cached, {} hit(s) / {} miss(es) ({:.0}% hit rate), {} rejected",
+        arena.cached_chunks,
+        arena.hits,
+        arena.misses,
+        arena.hit_rate() * 100.0,
+        arena.rejected
     );
     if failed == 0 {
         ExitCode::SUCCESS

@@ -8,10 +8,11 @@
 //! designs' advantage — the usage regime the paper targets.
 
 use moca_core::L2Design;
-use moca_trace::{AppProfile, TraceGenerator};
+use moca_trace::{AppProfile, MemoryAccess};
 
 use crate::config::SystemConfig;
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::fanout::TraceStream;
 use crate::parallel::{parallel_map, Jobs};
 use crate::system::System;
 use crate::table::{pct, Table};
@@ -29,15 +30,28 @@ fn run_at_duty(design: L2Design, refs: usize, duty: f64) -> crate::metrics::SimR
     let app = AppProfile::by_name(APP).expect("known app");
     let mut sys =
         System::new(app.name, design, SystemConfig::default()).expect("valid design");
-    let mut gen = TraceGenerator::new(&app, EXPERIMENT_SEED);
-    // One chunk per burst: the buffer's capacity sets the fill size.
-    let mut chunk = Vec::with_capacity(BURST_REFS);
+    // All twelve (duty, design) cells consume the same stream, so after
+    // the first cell every chunk is an arena hit. Arena chunks are
+    // smaller than a burst; the leftover of a chunk carries into the
+    // next burst so the reference sequence is unchanged.
+    let mut stream = TraceStream::new(&app, EXPERIMENT_SEED);
+    let mut chunk: std::sync::Arc<[MemoryAccess]> = Vec::new().into();
+    let mut off = 0usize;
     let mut done = 0usize;
     while done < refs {
         let burst = BURST_REFS.min(refs - done);
         let start = sys.cycles();
-        gen.fill(&mut chunk);
-        sys.run_batch(&chunk[..burst]);
+        let mut run = 0usize;
+        while run < burst {
+            if off == chunk.len() {
+                chunk = stream.next_chunk();
+                off = 0;
+            }
+            let n = (chunk.len() - off).min(burst - run);
+            sys.run_batch(&chunk[off..off + n]);
+            off += n;
+            run += n;
+        }
         done += burst;
         // Pad the burst's active time with idle so active/total = duty.
         let active = sys.cycles() - start;

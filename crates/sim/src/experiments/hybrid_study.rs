@@ -11,14 +11,15 @@
 use moca_cache::L1Pair;
 use moca_core::{HybridL2, L2BaseParams, L2Design, RefreshPolicy};
 use moca_energy::RetentionClass;
-use moca_trace::{AppProfile, TraceGenerator};
+use moca_trace::AppProfile;
 
 use crate::config::SystemConfig;
 use crate::cpu::InOrderCore;
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::fanout::{fan_out, TraceStream};
 use crate::parallel::{parallel_map, Jobs};
 use crate::table::{f3, pct, Table};
-use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
+use crate::workloads::{Scale, EXPERIMENT_SEED};
 
 /// Apps compared (write-heavy ones are where the hybrid matters).
 pub const APPS: [&str; 3] = ["camera", "video", "browser"];
@@ -31,11 +32,11 @@ fn run_hybrid(app: &AppProfile, refs: usize) -> (f64, f64, f64, u64) {
     let mut l1 = L1Pair::mobile_default();
     let mut l2 = HybridL2::new(2, 14, RetentionClass::TenYears, &L2BaseParams::default())
         .expect("static config is valid");
-    let mut gen = TraceGenerator::new(app, EXPERIMENT_SEED);
-    let mut chunk = Vec::with_capacity(TraceGenerator::DEFAULT_CHUNK);
+    let mut stream = TraceStream::new(app, EXPERIMENT_SEED);
     let mut left = refs;
     while left > 0 {
-        let n = gen.fill(&mut chunk).min(left);
+        let chunk = stream.next_chunk();
+        let n = chunk.len().min(left);
         for a in &chunk[..n] {
             let now = core.cycle();
             let out = l1.filter(a, now);
@@ -87,8 +88,11 @@ pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let mut shares = Vec::new();
     let runs = parallel_map(jobs, APPS.to_vec(), |name| {
         let app = AppProfile::by_name(name).expect("known app");
-        let base = run_app(&app, L2Design::baseline(), refs, EXPERIMENT_SEED);
-        let stt = run_app(&app, all_stt, refs, EXPERIMENT_SEED);
+        // Baseline and all-STT share one trace pass; the hybrid's own
+        // runner replays the same chunks from the arena.
+        let mut pair = fan_out(&app, &[L2Design::baseline(), all_stt], refs, EXPERIMENT_SEED);
+        let stt = pair.pop().expect("two designs");
+        let base = pair.pop().expect("two designs");
         let hybrid = run_hybrid(&app, refs);
         (base, stt, hybrid)
     });

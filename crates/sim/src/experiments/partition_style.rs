@@ -9,14 +9,15 @@
 
 use moca_cache::L1Pair;
 use moca_core::{L2BaseParams, L2Design, SetPartitionedL2};
-use moca_trace::{AppProfile, TraceGenerator};
+use moca_trace::AppProfile;
 
 use crate::config::SystemConfig;
 use crate::cpu::InOrderCore;
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::fanout::{fan_out, TraceStream};
 use crate::parallel::{parallel_map, Jobs};
 use crate::table::{f3, Table};
-use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
+use crate::workloads::{Scale, EXPERIMENT_SEED};
 
 /// Apps compared.
 pub const APPS: [&str; 4] = ["browser", "video", "music", "office"];
@@ -30,11 +31,11 @@ fn run_set_partitioned(app: &AppProfile, refs: usize) -> (f64, f64, u64) {
     let mut l1 = L1Pair::mobile_default();
     let mut l2 = SetPartitionedL2::new(1024, 512, 16, &L2BaseParams::default())
         .expect("static geometry is valid");
-    let mut gen = TraceGenerator::new(app, EXPERIMENT_SEED);
-    let mut chunk = Vec::with_capacity(TraceGenerator::DEFAULT_CHUNK);
+    let mut stream = TraceStream::new(app, EXPERIMENT_SEED);
     let mut left = refs;
     while left > 0 {
-        let n = gen.fill(&mut chunk).min(left);
+        let chunk = stream.next_chunk();
+        let n = chunk.len().min(left);
         for a in &chunk[..n] {
             let now = core.cycle();
             let out = l1.filter(a, now);
@@ -80,8 +81,11 @@ pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let mut set_miss_sum = 0.0;
     let runs = parallel_map(jobs, APPS.to_vec(), |name| {
         let app = AppProfile::by_name(name).expect("known app");
-        let base = run_app(&app, L2Design::baseline(), refs, EXPERIMENT_SEED);
-        let way = run_app(&app, way_design, refs, EXPERIMENT_SEED);
+        // Baseline and way-partitioned share one trace pass; the
+        // set-partitioned runner replays the same chunks from the arena.
+        let mut pair = fan_out(&app, &[L2Design::baseline(), way_design], refs, EXPERIMENT_SEED);
+        let way = pair.pop().expect("two designs");
+        let base = pair.pop().expect("two designs");
         let set = run_set_partitioned(&app, refs);
         (base, way, set)
     });

@@ -13,9 +13,10 @@ use moca_energy::RetentionClass;
 use moca_trace::AppProfile;
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::fanout::FanOut;
 use crate::parallel::{parallel_map, Jobs};
 use crate::table::{f3, Table};
-use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
+use crate::workloads::{Scale, EXPERIMENT_SEED};
 
 /// Apps averaged in the sweep (kept small; the sweep is 5 classes × 2
 /// policies × apps runs).
@@ -30,13 +31,6 @@ pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
         .map(|n| AppProfile::by_name(n).expect("known app"))
         .collect();
 
-    let baseline_energy: Vec<f64> = parallel_map(jobs, apps.clone(), |a| {
-        run_app(&a, L2Design::baseline(), refs, EXPERIMENT_SEED)
-            .l2_energy
-            .total()
-            .joules()
-    });
-
     let mut table = Table::new(vec![
         "retention (both segs)",
         "policy",
@@ -46,8 +40,11 @@ pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
         "refresh/1k L2 acc",
     ]);
 
-    // Enumerate the sweep grid first, then shard the independent
-    // (config × app) simulations; rows are rebuilt in grid order below.
+    // Enumerate the sweep grid first (table order below), then fan the
+    // whole design family — the SRAM baseline plus every (retention,
+    // policy) point — out over ONE shared trace stream per app. The
+    // parallel axis is the app; each worker pays trace generation once
+    // for its app instead of once per grid cell.
     let mut configs: Vec<(RetentionClass, RefreshPolicy)> = Vec::new();
     for rc in RetentionClass::SWEEP {
         for policy in [RefreshPolicy::InvalidateOnExpiry, RefreshPolicy::Refresh] {
@@ -57,30 +54,32 @@ pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
             configs.push((rc, policy));
         }
     }
-    let cells: Vec<((RetentionClass, RefreshPolicy), AppProfile)> = configs
-        .iter()
-        .flat_map(|cfg| apps.iter().map(move |a| (*cfg, a.clone())))
-        .collect();
-    let reports = parallel_map(jobs, cells, |((rc, policy), app)| {
-        let design = L2Design::StaticMultiRetention {
-            user_ways: 6,
-            kernel_ways: 4,
-            user_retention: rc,
-            kernel_retention: rc,
-            refresh: policy,
-        };
-        run_app(&app, design, refs, EXPERIMENT_SEED)
+    let mut designs: Vec<L2Design> = vec![L2Design::baseline()];
+    designs.extend(configs.iter().map(|&(rc, policy)| L2Design::StaticMultiRetention {
+        user_ways: 6,
+        kernel_ways: 4,
+        user_retention: rc,
+        kernel_retention: rc,
+        refresh: policy,
+    }));
+    // per_app[i][0] is app i's baseline; [1..] follow `configs` order.
+    let per_app: Vec<Vec<_>> = parallel_map(jobs, apps.clone(), |a| {
+        FanOut::new(&a, EXPERIMENT_SEED).run(&designs, refs)
     });
+    let baseline_energy: Vec<f64> = per_app
+        .iter()
+        .map(|r| r[0].l2_energy.total().joules())
+        .collect();
 
     let mut norm_by_class: Vec<(RetentionClass, f64)> = Vec::new();
-    for ((rc, policy), row) in configs.iter().zip(reports.chunks(apps.len())) {
-        let (rc, policy) = (*rc, *policy);
+    for (ci, &(rc, policy)) in configs.iter().enumerate() {
         {
             let mut miss = 0.0;
             let mut norm = 0.0;
             let mut expired = 0.0;
             let mut refreshes = 0.0;
-            for (i, r) in row.iter().enumerate() {
+            for (i, reports) in per_app.iter().enumerate() {
+                let r = &reports[ci + 1];
                 miss += r.l2_miss_rate();
                 norm += r.l2_energy.total().joules() / baseline_energy[i];
                 let acc = r.l2_stats.accesses().max(1) as f64;

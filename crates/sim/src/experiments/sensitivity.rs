@@ -15,9 +15,10 @@ use moca_energy::RetentionClass;
 use moca_trace::AppProfile;
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
-use crate::parallel::{parallel_map, Jobs};
+use crate::fanout::FanOut;
+use crate::parallel::Jobs;
 use crate::table::{f3, Table};
-use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
+use crate::workloads::{Scale, EXPERIMENT_SEED};
 
 /// The app used for the ablations.
 pub const ABLATION_APP: &str = "browser";
@@ -91,9 +92,9 @@ pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
 
     let mut work: Vec<L2Design> = vec![L2Design::baseline()];
     work.extend(variants.iter().map(|(_, d)| *d));
-    let mut reports = parallel_map(jobs, work, |design| {
-        run_app(&app, design, refs, EXPERIMENT_SEED)
-    });
+    // One shared trace stream fans out to the baseline plus all 13
+    // variants; reports stay byte-identical to per-design `run_app`.
+    let mut reports = FanOut::new(&app, EXPERIMENT_SEED).run_parallel(&work, refs, jobs);
     let baseline = reports.remove(0);
 
     let mut table = Table::new(vec![

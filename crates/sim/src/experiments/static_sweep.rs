@@ -11,9 +11,10 @@ use moca_core::{find_min_partition, L2Design};
 use moca_trace::AppProfile;
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::fanout::FanOut;
 use crate::parallel::{parallel_map, Jobs};
 use crate::table::{f3, Table};
-use crate::workloads::{run_app, Scale, EXPERIMENT_SEED};
+use crate::workloads::{Scale, EXPERIMENT_SEED};
 
 /// Apps used for the (quadratic-cost) sizing search.
 pub const SEARCH_APPS: [&str; 4] = ["browser", "game", "video", "music"];
@@ -40,17 +41,21 @@ pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     let mut totals = Vec::new();
     let choices = parallel_map(jobs, SEARCH_APPS.to_vec(), |name| {
         let app = AppProfile::by_name(name).expect("known app");
-        let baseline = run_app(&app, L2Design::baseline(), refs, EXPERIMENT_SEED);
+        // The search early-exits, so candidates cannot be batched up
+        // front; running each through the fan-out engine still amortizes
+        // trace generation, because every evaluation of the same (app,
+        // seed) after the first replays chunks from the shared arena.
+        let fan = FanOut::new(&app, EXPERIMENT_SEED);
+        let eval = |design: L2Design| {
+            let mut reports = fan.run(&[design], refs);
+            reports.pop().expect("one design in, one report out")
+        };
+        let baseline = eval(L2Design::baseline());
         find_min_partition(12, 8, baseline.l2_miss_rate(), MISS_BUDGET, |u, k| {
-            run_app(
-                &app,
-                L2Design::StaticSram {
-                    user_ways: u,
-                    kernel_ways: k,
-                },
-                refs,
-                EXPERIMENT_SEED,
-            )
+            eval(L2Design::StaticSram {
+                user_ways: u,
+                kernel_ways: k,
+            })
             .l2_miss_rate()
         })
     });

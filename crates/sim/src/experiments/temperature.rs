@@ -8,11 +8,12 @@
 
 use moca_core::{L2BaseParams, L2Design, MobileL2};
 use moca_energy::Temperature;
-use moca_trace::{AppProfile, TraceGenerator};
+use moca_trace::AppProfile;
 
 use moca_cache::L1Pair;
 
 use crate::experiments::{ClaimCheck, ExperimentResult};
+use crate::fanout::TraceStream;
 use crate::parallel::{parallel_map, Jobs};
 use crate::table::{pct, Table};
 use crate::workloads::{Scale, EXPERIMENT_SEED};
@@ -34,11 +35,13 @@ fn run_at(design: L2Design, temp_c: f64, refs: usize) -> (f64, f64) {
     let mut l1 = L1Pair::mobile_default();
     let mut l2 = MobileL2::new(design, params).expect("valid design");
     let mut now = 0u64;
-    let mut gen = TraceGenerator::new(&app, EXPERIMENT_SEED);
-    let mut chunk = Vec::with_capacity(TraceGenerator::DEFAULT_CHUNK);
+    // Every (temperature, design) cell replays the same (app, seed)
+    // stream, so after the first cell the chunks come from the arena.
+    let mut stream = TraceStream::new(&app, EXPERIMENT_SEED);
     let mut left = refs;
     while left > 0 {
-        let n = gen.fill(&mut chunk).min(left);
+        let chunk = stream.next_chunk();
+        let n = chunk.len().min(left);
         for a in &chunk[..n] {
             now += 2;
             let out = l1.filter(a, now);

@@ -1,0 +1,565 @@
+//! Shared-trace fan-out: evaluate many L2 designs against one trace
+//! stream in a single pass.
+//!
+//! Every figure in the reproduced evaluation is a *sweep*: N cache
+//! designs judged against the byte-identical workload trace. Running the
+//! sweep as N independent [`run_app`](crate::workloads::run_app) calls
+//! pays the trace-generation cost N times — and after the SoA cache
+//! engine, generation is the dominant cost of a sweep point. This module
+//! removes the multiplier twice over:
+//!
+//! * **Fan-out** ([`FanOut`]): one [`TraceGenerator`]-backed stream per
+//!   `(app, seed)` fills each chunk once and *broadcasts* the chunk
+//!   slice to N independent [`System`] instances (one per
+//!   [`L2Design`]) before pulling the next chunk. Generation cost is
+//!   amortized across every design in the call.
+//! * **Chunk arena** ([`ChunkArena`]): generated chunks are memoized in
+//!   a bounded, process-wide arena keyed by
+//!   `(profile fingerprint, seed, chunk index)` (fixed-seed
+//!   [`moca_trace::fxhash`] keys, [`AppProfile::fingerprint`] identity),
+//!   so experiments that reuse the same `(app, seed)` later in the
+//!   process skip regeneration entirely and share one immutable copy of
+//!   each chunk across threads.
+//!
+//! # Determinism
+//!
+//! The trace stream an individual [`System`] observes is *exactly* the
+//! stream `TraceGenerator::new(app, seed)` produces: chunks are cut at
+//! fixed [`ARENA_CHUNK`] boundaries, arena hits return bytes previously
+//! produced by such a generator, and misses are filled by a local
+//! generator owned by the calling worker — so RNG draw order per design
+//! is unchanged and every [`SimReport`] is **byte-identical** to a
+//! sequential `run_app` for any job count and any arena state. The
+//! fan-out equivalence suite in `crates/sim/tests/determinism.rs`
+//! asserts this, and the sweep-shaped experiments double as oracles.
+
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use moca_core::L2Design;
+use moca_trace::fxhash::FxHashMap;
+use moca_trace::{AppProfile, MemoryAccess, TraceGenerator};
+
+use crate::config::SystemConfig;
+use crate::metrics::SimReport;
+use crate::parallel::{parallel_map, Jobs};
+use crate::system::System;
+
+/// Length of every arena chunk in accesses.
+///
+/// Fixed (rather than caller-chosen) so chunk boundaries are identical
+/// for every consumer of a stream — the memoization key includes the
+/// chunk *index*, which is only meaningful at one chunk size.
+pub const ARENA_CHUNK: usize = TraceGenerator::DEFAULT_CHUNK;
+
+/// Default bound of the global arena, in cached chunks.
+///
+/// `512 × 8192` accesses ≈ 100 MB: enough to hold every stream the
+/// quick-scale experiment suite touches, small enough to stay polite on
+/// a CI container. Streams longer than the bound keep their cached
+/// prefix; the tail is regenerated per consumer (see
+/// [`TraceStream::next_chunk`]).
+pub const ARENA_CAP_CHUNKS: usize = 512;
+
+/// `(profile fingerprint, seed, chunk index)` — the identity of one
+/// generated chunk.
+type ChunkKey = (u64, u64, u32);
+
+#[derive(Debug, Default)]
+struct ArenaInner {
+    chunks: FxHashMap<ChunkKey, Arc<[MemoryAccess]>>,
+    hits: u64,
+    misses: u64,
+    rejected: u64,
+}
+
+/// Counters describing an arena's effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Chunks currently cached.
+    pub cached_chunks: usize,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required local generation.
+    pub misses: u64,
+    /// Generated chunks not cached because the arena was full.
+    pub rejected: u64,
+}
+
+impl ArenaStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded, thread-safe memo of generated trace chunks.
+///
+/// Most callers never touch an arena directly: [`TraceStream::new`] uses
+/// the process-wide [`ChunkArena::global`]. Private arenas (mainly for
+/// tests and benchmarks) come from [`ChunkArena::with_capacity`].
+///
+/// The bound is enforced as *insert-until-full*: once `cap_chunks`
+/// chunks are cached nothing is evicted and further inserts are
+/// rejected (counted in [`ArenaStats::rejected`]). Memoized content
+/// never influences simulation output — a hit returns exactly the bytes
+/// a miss would have generated — so the cache policy is purely a
+/// space/time knob.
+#[derive(Debug)]
+pub struct ChunkArena {
+    inner: Mutex<ArenaInner>,
+    cap_chunks: usize,
+}
+
+impl ChunkArena {
+    /// Creates a private arena bounded at `cap_chunks` cached chunks.
+    pub fn with_capacity(cap_chunks: usize) -> Self {
+        ChunkArena {
+            inner: Mutex::new(ArenaInner::default()),
+            cap_chunks,
+        }
+    }
+
+    /// The process-wide arena every [`TraceStream`] shares by default.
+    pub fn global() -> &'static ChunkArena {
+        static GLOBAL: OnceLock<ChunkArena> = OnceLock::new();
+        GLOBAL.get_or_init(|| ChunkArena::with_capacity(ARENA_CAP_CHUNKS))
+    }
+
+    /// The arena bound in chunks.
+    pub fn capacity_chunks(&self) -> usize {
+        self.cap_chunks
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ArenaInner> {
+        // A poisoned lock means a panicking thread held it mid-update;
+        // every critical section below leaves the map consistent, so
+        // continuing is safe (mirrors `parallel::parallel_map`).
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn get(&self, key: ChunkKey) -> Option<Arc<[MemoryAccess]>> {
+        let mut inner = self.lock();
+        match inner.chunks.get(&key) {
+            Some(chunk) => {
+                let chunk = Arc::clone(chunk);
+                inner.hits += 1;
+                Some(chunk)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: ChunkKey, chunk: &Arc<[MemoryAccess]>) {
+        let mut inner = self.lock();
+        if inner.chunks.len() >= self.cap_chunks {
+            inner.rejected += 1;
+            return;
+        }
+        // A racing worker may have generated the same chunk; both copies
+        // are byte-identical, so keeping the first is arbitrary but
+        // consistent.
+        inner.chunks.entry(key).or_insert_with(|| Arc::clone(chunk));
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> ArenaStats {
+        let inner = self.lock();
+        ArenaStats {
+            cached_chunks: inner.chunks.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            rejected: inner.rejected,
+        }
+    }
+}
+
+/// A cursor over the `(app, seed)` trace stream, staged in
+/// [`ARENA_CHUNK`]-sized immutable chunks backed by a [`ChunkArena`].
+///
+/// The stream is identical to `TraceGenerator::new(app, seed)`; the
+/// difference is purely operational: chunks already memoized by any
+/// earlier consumer in the process are returned without generation, and
+/// a local generator (created lazily, only on the first miss) fills the
+/// rest. Consumption is strictly forward from chunk 0 — exactly the
+/// access pattern of a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use moca_sim::fanout::TraceStream;
+/// use moca_trace::{AppProfile, TraceGenerator};
+///
+/// let app = AppProfile::music();
+/// let mut stream = TraceStream::new(&app, 7);
+/// let chunk = stream.next_chunk();
+/// let direct: Vec<_> = TraceGenerator::new(&app, 7).take(chunk.len()).collect();
+/// assert_eq!(&chunk[..], &direct[..]);
+/// ```
+#[derive(Debug)]
+pub struct TraceStream<'a> {
+    profile: &'a AppProfile,
+    seed: u64,
+    fingerprint: u64,
+    arena: &'a ChunkArena,
+    /// Local generator; only built when a chunk misses the arena.
+    gen: Option<TraceGenerator>,
+    /// Chunks the local generator has produced (its stream position).
+    generated: u32,
+    /// Index of the next chunk to hand out.
+    next: u32,
+}
+
+impl<'a> TraceStream<'a> {
+    /// A stream over `(profile, seed)` backed by the global arena.
+    pub fn new(profile: &'a AppProfile, seed: u64) -> Self {
+        Self::with_arena(profile, seed, ChunkArena::global())
+    }
+
+    /// A stream backed by an explicit arena (tests, benchmarks).
+    pub fn with_arena(profile: &'a AppProfile, seed: u64, arena: &'a ChunkArena) -> Self {
+        TraceStream {
+            profile,
+            seed,
+            fingerprint: profile.fingerprint(),
+            arena,
+            gen: None,
+            generated: 0,
+            next: 0,
+        }
+    }
+
+    /// Index of the next chunk [`TraceStream::next_chunk`] will return.
+    pub fn position(&self) -> u32 {
+        self.next
+    }
+
+    /// Returns the next [`ARENA_CHUNK`]-long chunk of the stream.
+    ///
+    /// Arena hit: an `Arc` clone of the memoized chunk, no generation.
+    /// Miss: the local generator catches up to the cursor (chunks it
+    /// skipped over while hits were served count only generation time,
+    /// never change content) and fills the chunk, which is offered to
+    /// the arena for future consumers.
+    pub fn next_chunk(&mut self) -> Arc<[MemoryAccess]> {
+        let key = (self.fingerprint, self.seed, self.next);
+        if let Some(chunk) = self.arena.get(key) {
+            self.next += 1;
+            return chunk;
+        }
+        let gen = self
+            .gen
+            .get_or_insert_with(|| TraceGenerator::new(self.profile, self.seed));
+        let mut chunk: Vec<MemoryAccess> = Vec::with_capacity(ARENA_CHUNK);
+        while self.generated < self.next {
+            // Catch up over chunks that were served from the arena
+            // before the local generator existed (or before the arena's
+            // bound cut caching off): regenerate and discard to advance
+            // the RNG to the cursor.
+            gen.fill(&mut chunk);
+            self.generated += 1;
+        }
+        gen.fill(&mut chunk);
+        self.generated += 1;
+        let chunk: Arc<[MemoryAccess]> = chunk.into();
+        self.arena.insert(key, &chunk);
+        self.next += 1;
+        chunk
+    }
+}
+
+/// The shared-trace fan-out runner: one `(app, seed)` stream broadcast
+/// to any number of [`L2Design`]s.
+///
+/// # Examples
+///
+/// ```
+/// use moca_core::L2Design;
+/// use moca_sim::fanout::FanOut;
+/// use moca_trace::AppProfile;
+///
+/// let app = AppProfile::music();
+/// let designs = [L2Design::baseline(), L2Design::static_default()];
+/// let reports = FanOut::new(&app, 1).run(&designs, 30_000);
+/// assert_eq!(reports.len(), 2);
+/// // Byte-identical to running each design on its own:
+/// let solo = moca_sim::run_app(&app, designs[1], 30_000, 1);
+/// assert_eq!(reports[1].cycles, solo.cycles);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FanOut<'a> {
+    app: &'a AppProfile,
+    seed: u64,
+    cfg: SystemConfig,
+}
+
+impl<'a> FanOut<'a> {
+    /// A fan-out over the `(app, seed)` stream with the default
+    /// [`SystemConfig`].
+    pub fn new(app: &'a AppProfile, seed: u64) -> Self {
+        FanOut {
+            app,
+            seed,
+            cfg: SystemConfig::default(),
+        }
+    }
+
+    /// Replaces the system configuration used for every design.
+    pub fn with_config(mut self, cfg: SystemConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Runs `refs` references of the shared stream through one
+    /// [`System`] per design, single-threaded, and returns the reports
+    /// in design order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any design is invalid (callers construct designs from
+    /// validated enums, matching [`crate::workloads::run_app`]).
+    pub fn run(&self, designs: &[L2Design], refs: usize) -> Vec<SimReport> {
+        self.run_timed(designs, refs)
+            .into_iter()
+            .map(|(report, _)| report)
+            .collect()
+    }
+
+    /// [`FanOut::run`] returning `(report, wall_ns)` pairs, where
+    /// `wall_ns` is the wall-clock time spent simulating that design
+    /// (shared trace-generation time excluded — it is no longer
+    /// attributable to a single design).
+    pub fn run_timed(&self, designs: &[L2Design], refs: usize) -> Vec<(SimReport, u64)> {
+        let mut systems: Vec<System> = designs
+            .iter()
+            .map(|design| {
+                System::new(self.app.name, *design, self.cfg).expect("fan-out design must be valid")
+            })
+            .collect();
+        let mut walls = vec![0u64; systems.len()];
+        if !systems.is_empty() {
+            let mut stream = TraceStream::new(self.app, self.seed);
+            let mut left = refs;
+            while left > 0 {
+                let chunk = stream.next_chunk();
+                let n = chunk.len().min(left);
+                for (sys, wall) in systems.iter_mut().zip(&mut walls) {
+                    let start = Instant::now();
+                    sys.run_batch(&chunk[..n]);
+                    *wall += start.elapsed().as_nanos() as u64;
+                }
+                left -= n;
+            }
+        }
+        systems
+            .into_iter()
+            .zip(walls)
+            .map(|(sys, wall)| {
+                let start = Instant::now();
+                let report = sys.finish();
+                (report, wall + start.elapsed().as_nanos() as u64)
+            })
+            .collect()
+    }
+
+    /// [`FanOut::run`] with the designs partitioned over `jobs` worker
+    /// threads.
+    ///
+    /// Each worker owns its slice of the designs *and its own stream*
+    /// (a fresh generator clone on arena misses), so RNG draw order per
+    /// design is unchanged and the reports are byte-identical to
+    /// [`FanOut::run`] — and to per-design `run_app` — for every job
+    /// count.
+    pub fn run_parallel(&self, designs: &[L2Design], refs: usize, jobs: Jobs) -> Vec<SimReport> {
+        self.run_timed_parallel(designs, refs, jobs)
+            .into_iter()
+            .map(|(report, _)| report)
+            .collect()
+    }
+
+    /// [`FanOut::run_timed`] with the designs partitioned over `jobs`
+    /// worker threads.
+    pub fn run_timed_parallel(
+        &self,
+        designs: &[L2Design],
+        refs: usize,
+        jobs: Jobs,
+    ) -> Vec<(SimReport, u64)> {
+        let workers = jobs.get().min(designs.len());
+        if workers <= 1 {
+            return self.run_timed(designs, refs);
+        }
+        // Contiguous groups, one per worker: each group shares one
+        // stream, and the input-order merge of `parallel_map` restores
+        // design order.
+        let per_group = designs.len().div_ceil(workers);
+        let groups: Vec<&[L2Design]> = designs.chunks(per_group).collect();
+        parallel_map(jobs, groups, |group| self.run_timed(group, refs))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// One-shot helper: [`FanOut::run`] with the default config.
+pub fn fan_out(
+    app: &AppProfile,
+    designs: &[L2Design],
+    refs: usize,
+    seed: u64,
+) -> Vec<SimReport> {
+    FanOut::new(app, seed).run(designs, refs)
+}
+
+/// One-shot helper: [`FanOut::run_parallel`] with the default config.
+pub fn fan_out_parallel(
+    app: &AppProfile,
+    designs: &[L2Design],
+    refs: usize,
+    seed: u64,
+    jobs: Jobs,
+) -> Vec<SimReport> {
+    FanOut::new(app, seed).run_parallel(designs, refs, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moca_trace::TraceGenerator;
+
+    fn reference_stream(app: &AppProfile, seed: u64, n: usize) -> Vec<MemoryAccess> {
+        TraceGenerator::new(app, seed).take(n).collect()
+    }
+
+    #[test]
+    fn stream_matches_generator_across_arena_states() {
+        let app = AppProfile::browser();
+        let arena = ChunkArena::with_capacity(64);
+        let expected = reference_stream(&app, 5, 3 * ARENA_CHUNK);
+
+        // Cold pass: all misses.
+        let mut cold = TraceStream::with_arena(&app, 5, &arena);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.extend_from_slice(&cold.next_chunk());
+        }
+        assert_eq!(got, expected);
+        assert_eq!(arena.stats().misses, 3);
+
+        // Warm pass: all hits, identical bytes.
+        let mut warm = TraceStream::with_arena(&app, 5, &arena);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.extend_from_slice(&warm.next_chunk());
+        }
+        assert_eq!(got, expected);
+        assert_eq!(arena.stats().hits, 3);
+    }
+
+    #[test]
+    fn stream_catches_up_after_partial_hits() {
+        // Arena bounded at 1 chunk: the second pass hits chunk 0 then
+        // must regenerate (catch up) for chunks 1 and 2.
+        let app = AppProfile::email();
+        let arena = ChunkArena::with_capacity(1);
+        let expected = reference_stream(&app, 9, 3 * ARENA_CHUNK);
+
+        let mut first = TraceStream::with_arena(&app, 9, &arena);
+        for _ in 0..3 {
+            first.next_chunk();
+        }
+        assert_eq!(arena.stats().cached_chunks, 1);
+        assert_eq!(arena.stats().rejected, 2);
+
+        let mut second = TraceStream::with_arena(&app, 9, &arena);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.extend_from_slice(&second.next_chunk());
+        }
+        assert_eq!(got, expected, "catch-up after a partial hit must not skew the stream");
+        assert_eq!(arena.stats().hits, 1);
+    }
+
+    #[test]
+    fn arena_keys_separate_apps_and_seeds() {
+        let arena = ChunkArena::with_capacity(16);
+        let browser = AppProfile::browser();
+        let email = AppProfile::email();
+        let a = TraceStream::with_arena(&browser, 1, &arena).next_chunk();
+        let b = TraceStream::with_arena(&email, 1, &arena).next_chunk();
+        let c = TraceStream::with_arena(&browser, 2, &arena).next_chunk();
+        assert_ne!(&a[..], &b[..]);
+        assert_ne!(&a[..], &c[..]);
+        assert_eq!(arena.stats().cached_chunks, 3);
+        // Same stream again: a pure hit.
+        let a2 = TraceStream::with_arena(&browser, 1, &arena).next_chunk();
+        assert_eq!(&a[..], &a2[..]);
+        assert!(arena.stats().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn fan_out_matches_individual_runs() {
+        let app = AppProfile::game();
+        let designs = [
+            L2Design::baseline(),
+            L2Design::static_default(),
+            L2Design::dynamic_default(),
+        ];
+        let refs = 2 * ARENA_CHUNK + 123; // deliberately not chunk-aligned
+        let fanned = fan_out(&app, &designs, refs, 3);
+        for (design, fanned) in designs.iter().zip(&fanned) {
+            let solo = crate::workloads::run_app(&app, *design, refs, 3);
+            assert_eq!(format!("{fanned:?}"), format!("{solo:?}"));
+        }
+    }
+
+    #[test]
+    fn parallel_fan_out_matches_serial_for_all_job_counts() {
+        let app = AppProfile::video();
+        let designs: Vec<L2Design> = (1..=5u32)
+            .map(|ways| L2Design::SharedSram { ways: ways * 2 })
+            .collect();
+        let serial = fan_out(&app, &designs, 20_000, 11);
+        for jobs in [1usize, 2, 3, 8] {
+            let parallel = fan_out_parallel(&app, &designs, 20_000, 11, Jobs::new(jobs));
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(format!("{s:?}"), format!("{p:?}"), "jobs = {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_designs_produce_no_reports_and_pull_no_chunks() {
+        let app = AppProfile::music();
+        let reports = fan_out(&app, &[], 50_000, 1);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn timed_runs_attribute_wall_time_per_design() {
+        let app = AppProfile::music();
+        let designs = [L2Design::baseline(), L2Design::static_default()];
+        let timed = FanOut::new(&app, 2).run_timed(&designs, 20_000);
+        assert_eq!(timed.len(), 2);
+        for (report, wall_ns) in &timed {
+            assert_eq!(report.refs, 20_000);
+            assert!(*wall_ns > 0, "simulation time must be accounted");
+        }
+    }
+
+    #[test]
+    fn global_arena_is_shared_and_bounded() {
+        let arena = ChunkArena::global();
+        assert_eq!(arena.capacity_chunks(), ARENA_CAP_CHUNKS);
+        assert!(std::ptr::eq(arena, ChunkArena::global()));
+    }
+}

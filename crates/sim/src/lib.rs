@@ -5,8 +5,9 @@
 //! DRAM) and hosts the experiment suite that regenerates every figure and
 //! table of the reproduced evaluation (see `DESIGN.md` for the experiment
 //! index and `EXPERIMENTS.md` for results), plus sweep/CSV utilities, a
-//! deterministic multi-threaded sweep engine ([`parallel`]), and the
-//! `repro` / `tracegen` binaries.
+//! deterministic multi-threaded sweep engine ([`parallel`]), a
+//! shared-trace fan-out runner with a memoized chunk arena ([`fanout`]),
+//! and the `repro` / `tracegen` binaries.
 //!
 //! ```
 //! use moca_core::L2Design;
@@ -27,6 +28,7 @@ pub mod config;
 pub mod cpu;
 pub mod dram;
 pub mod experiments;
+pub mod fanout;
 pub mod metrics;
 pub mod parallel;
 pub mod sweep;
@@ -37,6 +39,7 @@ pub mod workloads;
 pub use config::SystemConfig;
 pub use cpu::InOrderCore;
 pub use dram::{DramModel, RowBufferDram, RowBufferParams};
+pub use fanout::{fan_out, fan_out_parallel, ArenaStats, ChunkArena, FanOut, TraceStream};
 pub use metrics::{geometric_mean, mean, SimReport};
 pub use parallel::{parallel_map, parallel_map_ref, Jobs};
 pub use sweep::{comparison_table, csv_row, sweep, sweep_parallel, write_csv, SweepPoint};

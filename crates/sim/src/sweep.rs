@@ -4,27 +4,40 @@
 //! downstream users the same machinery for *their own* studies: run a
 //! family of design points over an app, collect [`SimReport`]s, and
 //! export them as CSV or a comparison table.
+//!
+//! Sweeps run on the shared-trace fan-out engine ([`crate::fanout`]):
+//! the workload trace is generated once per `(app, seed)` and broadcast
+//! to every design point, so an N-point sweep pays the trace-generation
+//! cost once instead of N times.
 
 use std::io::{self, Write};
 
 use moca_core::L2Design;
 use moca_trace::AppProfile;
 
+use crate::fanout::FanOut;
 use crate::metrics::SimReport;
-use crate::parallel::{parallel_map_ref, Jobs};
+use crate::parallel::Jobs;
 use crate::table::Table;
-use crate::workloads::run_app;
 
-/// One point of a sweep: the parameter value and its simulation report.
+/// One point of a sweep: the parameter value, its simulation report,
+/// and the wall-clock time spent simulating it.
 #[derive(Debug, Clone)]
 pub struct SweepPoint<P> {
     /// The swept parameter value.
     pub param: P,
     /// The resulting report.
     pub report: SimReport,
+    /// Wall-clock nanoseconds spent simulating this design point
+    /// (trace generation is shared across the sweep and excluded).
+    pub wall_ns: u64,
 }
 
 /// Runs `app` on the design produced for every parameter value.
+///
+/// The trace is generated once and broadcast to every design, but each
+/// report is byte-identical to running that design alone via
+/// [`crate::workloads::run_app`].
 ///
 /// # Examples
 ///
@@ -56,21 +69,26 @@ where
     P: Clone,
     F: FnMut(&P) -> L2Design,
 {
+    let designs: Vec<L2Design> = params.iter().map(|p| to_design(p)).collect();
+    let timed = FanOut::new(app, seed).run_timed(&designs, refs);
     params
         .iter()
-        .map(|p| SweepPoint {
+        .zip(timed)
+        .map(|(p, (report, wall_ns))| SweepPoint {
             param: p.clone(),
-            report: run_app(app, to_design(p), refs, seed),
+            report,
+            wall_ns,
         })
         .collect()
 }
 
-/// [`sweep`] sharded over `jobs` threads.
+/// [`sweep`] with the design points sharded over `jobs` threads.
 ///
-/// Each design point is an independent simulation with its own seeded
-/// trace generator, and results are merged in parameter order — so the
-/// output (including its CSV rendering) is **byte-identical** to the
-/// serial [`sweep`] for every job count.
+/// The fan-out engine partitions the designs into contiguous groups,
+/// one shared trace stream per worker, and merges results in parameter
+/// order — so the reports (and their CSV rendering minus the measured
+/// `wall_ns` column) are **byte-identical** to the serial [`sweep`] for
+/// every job count.
 ///
 /// # Examples
 ///
@@ -99,21 +117,31 @@ where
     P: Clone + Send + Sync,
     F: Fn(&P) -> L2Design + Sync,
 {
-    parallel_map_ref(jobs, params, |p| SweepPoint {
-        param: p.clone(),
-        report: run_app(app, to_design(p), refs, seed),
-    })
+    let designs: Vec<L2Design> = params.iter().map(|p| to_design(p)).collect();
+    let timed = FanOut::new(app, seed).run_timed_parallel(&designs, refs, jobs);
+    params
+        .iter()
+        .zip(timed)
+        .map(|(p, (report, wall_ns))| SweepPoint {
+            param: p.clone(),
+            report,
+            wall_ns,
+        })
+        .collect()
 }
 
 /// The CSV header matching [`csv_row`].
 pub const CSV_HEADER: &str = "app,design,refs,cycles,cpr,l2_accesses,l2_miss_rate,\
 l2_kernel_share,l2_energy_nj,leakage_nj,dynamic_nj,refresh_nj,dram_energy_nj,\
-dram_reads,dram_writes,expired,refreshes,mean_active_ways";
+dram_reads,dram_writes,expired,refreshes,mean_active_ways,wall_ns";
 
 /// Renders one report as a CSV row (fields per [`CSV_HEADER`]).
-pub fn csv_row(r: &SimReport) -> String {
+///
+/// `wall_ns` is the measured simulation time of the point (use
+/// [`SweepPoint::wall_ns`], or `0` when timing was not collected).
+pub fn csv_row(r: &SimReport, wall_ns: u64) -> String {
     format!(
-        "{},{},{},{},{:.4},{},{:.5},{:.5},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{:.2}",
+        "{},{},{},{},{:.4},{},{:.5},{:.5},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{:.2},{}",
         r.app,
         r.design,
         r.refs,
@@ -132,24 +160,27 @@ pub fn csv_row(r: &SimReport) -> String {
         r.expiry.expired,
         r.expiry.refreshes,
         r.mean_active_ways,
+        wall_ns,
     )
 }
 
-/// Writes reports as CSV (header + one row per report).
+/// Writes `(report, wall_ns)` pairs as CSV (header + one row per pair).
 ///
-/// A mutable reference to any [`Write`] can be passed.
+/// A mutable reference to any [`Write`] can be passed. Sweep results
+/// adapt via `points.iter().map(|p| (&p.report, p.wall_ns))`; pass `0`
+/// as `wall_ns` for reports without timing.
 ///
 /// # Errors
 ///
 /// Returns any underlying I/O error.
-pub fn write_csv<'a, W, I>(mut writer: W, reports: I) -> io::Result<()>
+pub fn write_csv<'a, W, I>(mut writer: W, rows: I) -> io::Result<()>
 where
     W: Write,
-    I: IntoIterator<Item = &'a SimReport>,
+    I: IntoIterator<Item = (&'a SimReport, u64)>,
 {
     writeln!(writer, "{CSV_HEADER}")?;
-    for r in reports {
-        writeln!(writer, "{}", csv_row(r))?;
+    for (r, wall_ns) in rows {
+        writeln!(writer, "{}", csv_row(r, wall_ns))?;
     }
     Ok(())
 }
@@ -185,6 +216,7 @@ pub fn comparison_table(reports: &[SimReport]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workloads::run_app;
 
     fn reports() -> Vec<SimReport> {
         let app = AppProfile::music();
@@ -192,6 +224,14 @@ mod tests {
             run_app(&app, L2Design::baseline(), 30_000, 1),
             run_app(&app, L2Design::static_default(), 30_000, 1),
         ]
+    }
+
+    /// CSV with the measured `wall_ns` column blanked, for byte-identity
+    /// comparisons across job counts.
+    fn csv_sans_wall<P>(points: &[SweepPoint<P>]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, points.iter().map(|p| (&p.report, 0))).expect("write");
+        buf
     }
 
     #[test]
@@ -207,6 +247,24 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].param, 2);
         assert!(pts[0].report.l2_stats.accesses() > 0);
+        assert!(pts[0].wall_ns > 0, "sweep points carry simulation time");
+    }
+
+    #[test]
+    fn sweep_matches_per_design_run_app() {
+        let app = AppProfile::game();
+        let params = [2u32, 8];
+        let pts = sweep(
+            &params,
+            |&w| L2Design::SharedSram { ways: w },
+            &app,
+            20_000,
+            3,
+        );
+        for (p, pt) in params.iter().zip(&pts) {
+            let solo = run_app(&app, L2Design::SharedSram { ways: *p }, 20_000, 3);
+            assert_eq!(format!("{:?}", pt.report), format!("{solo:?}"));
+        }
     }
 
     #[test]
@@ -215,13 +273,10 @@ mod tests {
         let to_design = |&w: &u32| L2Design::SharedSram { ways: w };
         let params = [2u32, 4, 8, 16];
         let serial = sweep(&params, to_design, &app, 20_000, 3);
-        let mut serial_csv = Vec::new();
-        write_csv(&mut serial_csv, serial.iter().map(|p| &p.report)).expect("write");
+        let serial_csv = csv_sans_wall(&serial);
         for jobs in [1, 2, 8] {
             let par = sweep_parallel(&params, to_design, &app, 20_000, 3, Jobs::new(jobs));
-            let mut par_csv = Vec::new();
-            write_csv(&mut par_csv, par.iter().map(|p| &p.report)).expect("write");
-            assert_eq!(serial_csv, par_csv, "jobs = {jobs}");
+            assert_eq!(serial_csv, csv_sans_wall(&par), "jobs = {jobs}");
         }
     }
 
@@ -229,7 +284,7 @@ mod tests {
     fn csv_roundtrip_structure() {
         let rs = reports();
         let mut buf = Vec::new();
-        write_csv(&mut buf, rs.iter()).expect("write");
+        write_csv(&mut buf, rs.iter().map(|r| (r, 42))).expect("write");
         let text = String::from_utf8(buf).expect("utf8");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
@@ -238,6 +293,8 @@ mod tests {
             assert_eq!(line.split(',').count(), cols, "bad row: {line}");
         }
         assert!(lines[1].starts_with("music,"));
+        assert!(lines[1].ends_with(",42"), "wall_ns is the final column");
+        assert!(CSV_HEADER.ends_with(",wall_ns"));
     }
 
     #[test]

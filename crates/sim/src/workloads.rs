@@ -47,6 +47,13 @@ pub const EXPERIMENT_SEED: u64 = 0x5EED_2015;
 
 /// Runs one app on one design.
 ///
+/// This is the *sequential reference path*: it owns a private
+/// [`TraceGenerator`] and never touches the shared chunk arena, which is
+/// what makes it the oracle the fan-out equivalence tests compare
+/// against. Multi-design studies should prefer [`crate::fanout::FanOut`]
+/// (or [`crate::sweep::sweep`]), which produce byte-identical reports
+/// while paying trace generation once per `(app, seed)`.
+///
 /// # Panics
 ///
 /// Panics if `design` is invalid (experiments construct designs from

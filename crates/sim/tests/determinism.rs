@@ -68,3 +68,149 @@ determinism_tests! {
     a6_temperature_is_deterministic => "A6",
     a7_multitask_is_deterministic => "A7",
 }
+
+/// Fan-out-vs-sequential equivalence.
+///
+/// The shared-trace fan-out engine (`moca_sim::fanout`) promises that
+/// broadcasting one trace stream to N designs — through any arena state
+/// and any job count — produces reports **byte-identical** to running
+/// each design alone through `run_app`, which owns a private generator
+/// and never touches the arena. These tests pin that promise for the
+/// design families the sweep-shaped experiments use, and for randomized
+/// (designs, refs, seed) triples.
+mod fanout_equivalence {
+    use moca_core::{L2Design, RefreshPolicy};
+    use moca_energy::RetentionClass;
+    use moca_sim::fanout::{fan_out, fan_out_parallel};
+    use moca_sim::parallel::Jobs;
+    use moca_sim::workloads::run_app;
+    use moca_testkit::{check, require, Config, TestRng};
+    use moca_trace::AppProfile;
+
+    /// A design pool spanning every sweep-shaped experiment: shared and
+    /// partitioned SRAM (F3, A2), the retention grid (F5), dynamic
+    /// variants (F8), and the suite defaults (T2/A4/A6).
+    fn design_pool() -> Vec<L2Design> {
+        vec![
+            L2Design::baseline(),
+            L2Design::static_default(),
+            L2Design::dynamic_default(),
+            L2Design::SharedSram { ways: 4 },
+            L2Design::SharedSram { ways: 16 },
+            L2Design::StaticSram {
+                user_ways: 6,
+                kernel_ways: 4,
+            },
+            L2Design::StaticSram {
+                user_ways: 8,
+                kernel_ways: 4,
+            },
+            L2Design::SharedStt {
+                ways: 16,
+                retention: RetentionClass::TenYears,
+                refresh: RefreshPolicy::InvalidateOnExpiry,
+            },
+            L2Design::StaticMultiRetention {
+                user_ways: 6,
+                kernel_ways: 4,
+                user_retention: RetentionClass::OneSecond,
+                kernel_retention: RetentionClass::TenMillis,
+                refresh: RefreshPolicy::Refresh,
+            },
+            L2Design::DynamicStt {
+                max_ways: 16,
+                min_ways: 1,
+                user_retention: RetentionClass::HundredMillis,
+                kernel_retention: RetentionClass::TenMillis,
+                refresh: RefreshPolicy::InvalidateOnExpiry,
+                epoch_cycles: 100_000,
+            },
+            L2Design::DynamicSram {
+                max_ways: 16,
+                min_ways: 1,
+                epoch_cycles: 500_000,
+            },
+        ]
+    }
+
+    /// Asserts `run_app` loop == fan-out(jobs=1) == fan-out(jobs=2) ==
+    /// fan-out(jobs=8) for the given sweep, by `Debug` rendering.
+    fn assert_fanout_equivalent(app: &AppProfile, designs: &[L2Design], refs: usize, seed: u64) {
+        let sequential: Vec<String> = designs
+            .iter()
+            .map(|&d| format!("{:?}", run_app(app, d, refs, seed)))
+            .collect();
+        for jobs in [1usize, 2, 8] {
+            let fanned = fan_out_parallel(app, designs, refs, seed, Jobs::new(jobs));
+            assert_eq!(fanned.len(), sequential.len());
+            for (i, (seq, fan)) in sequential.iter().zip(&fanned).enumerate() {
+                assert_eq!(
+                    seq,
+                    &format!("{fan:?}"),
+                    "design {i} differs from sequential run_app at jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_design_pool_fans_out_identically() {
+        // Refs chosen off chunk alignment on purpose.
+        assert_fanout_equivalent(&AppProfile::browser(), &design_pool(), 30_123, 2015);
+    }
+
+    #[test]
+    fn retention_grid_fans_out_identically() {
+        let designs: Vec<L2Design> = RetentionClass::SWEEP
+            .into_iter()
+            .map(|rc| L2Design::StaticMultiRetention {
+                user_ways: 6,
+                kernel_ways: 4,
+                user_retention: rc,
+                kernel_retention: rc,
+                refresh: RefreshPolicy::InvalidateOnExpiry,
+            })
+            .collect();
+        assert_fanout_equivalent(&AppProfile::video(), &designs, 25_000, 0x5EED_2015);
+    }
+
+    #[test]
+    fn single_design_fan_out_is_run_app() {
+        let app = AppProfile::music();
+        let solo = run_app(&app, L2Design::static_default(), 20_000, 7);
+        let fanned = fan_out(&app, &[L2Design::static_default()], 20_000, 7);
+        assert_eq!(format!("{:?}", fanned[0]), format!("{solo:?}"));
+    }
+
+    #[test]
+    fn random_triples_fan_out_identically() {
+        // moca-testkit property: for randomized (designs, refs, seed)
+        // triples, fan-out at a random job count reproduces the
+        // sequential per-design reports byte-for-byte.
+        let pool = design_pool();
+        let apps = AppProfile::suite();
+        check(
+            Config::cases(12),
+            |rng: &mut TestRng| {
+                let app = rng.pick(&apps).clone();
+                let designs =
+                    rng.vec(1, 6, |rng| *rng.pick(&pool));
+                let refs = rng.range_usize(1_000, 30_000);
+                let seed = rng.next_u64();
+                let jobs = rng.range_usize(1, 9);
+                (app, designs, refs, seed, jobs)
+            },
+            |(app, designs, refs, seed, jobs)| {
+                let fanned = fan_out_parallel(app, designs, *refs, *seed, Jobs::new(*jobs));
+                for (i, (design, fan)) in designs.iter().zip(&fanned).enumerate() {
+                    let solo = run_app(app, *design, *refs, *seed);
+                    require!(
+                        format!("{solo:?}") == format!("{fan:?}"),
+                        "design {i} ({design:?}) differs at jobs={jobs}, refs={refs}, seed={seed:#x}"
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
+}

@@ -125,6 +125,63 @@ impl AppProfile {
         Self::suite().into_iter().find(|p| p.name == name)
     }
 
+    /// A stable 64-bit fingerprint over *every* profile parameter.
+    ///
+    /// Two profiles fingerprint equal exactly when every field (name,
+    /// region geometry, locality knobs, service mixes) is bit-equal — so
+    /// a profile tweaked for a what-if study gets a different fingerprint
+    /// than the suite profile it started from. Together with a trace
+    /// seed, the fingerprint identifies a generated reference stream;
+    /// `moca-sim`'s shared-trace chunk arena uses it as a memoization
+    /// key. Hashing is the fixed-seed [`crate::fxhash::FxHasher`], so the
+    /// value is identical across runs and processes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use moca_trace::AppProfile;
+    ///
+    /// assert_eq!(AppProfile::music().fingerprint(), AppProfile::music().fingerprint());
+    /// let mut tweaked = AppProfile::music();
+    /// tweaked.heap_lines += 1;
+    /// assert_ne!(AppProfile::music().fingerprint(), tweaked.fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::fxhash::FxHasher::default();
+        h.write_usize(self.name.len());
+        h.write(self.name.as_bytes());
+        for v in [
+            self.code_lines,
+            self.heap_lines,
+            self.heap_hot_lines,
+            self.stack_lines,
+            self.tick_period_refs,
+        ] {
+            h.write_u64(v);
+        }
+        for v in [
+            self.code_theta,
+            self.heap_theta,
+            self.heap_hot_frac,
+            self.heap_p_seq,
+            self.heap_seq_len,
+            self.ifetch_frac,
+            self.store_frac,
+            self.stack_frac,
+            self.mean_user_run,
+            self.irq_frac,
+        ] {
+            h.write_u64(v.to_bits());
+        }
+        h.write_usize(self.syscall_mix.len());
+        for (service, weight) in self.syscall_mix.iter().chain(&self.irq_mix) {
+            h.write_u8(*service as u8);
+            h.write_u64(weight.to_bits());
+        }
+        h.finish()
+    }
+
     fn base(name: &'static str) -> AppProfile {
         AppProfile {
             name,

@@ -172,20 +172,30 @@ impl TraceGenerator {
         self.syscall_services[i]
     }
 
-    /// Regenerates the buffer: one user run followed by one kernel burst,
-    /// written in place (no per-access queue shuffling, no temporaries).
+    /// Regenerates the buffer: user run / kernel burst pairs written in
+    /// place (no per-access queue shuffling, no temporaries) until at
+    /// least [`Self::DEFAULT_CHUNK`] accesses are staged.
+    ///
+    /// Generating a full chunk per refill — rather than one run at a
+    /// time — amortizes the refill bookkeeping over thousands of
+    /// accesses, so the [`Iterator`] path and [`TraceGenerator::fill`]
+    /// share one chunked buffer and one cost profile. Both paths consume
+    /// the identical stream; only the generate-ahead distance differs
+    /// from generating run-by-run.
     ///
     /// Must only be called once the previous buffer is fully consumed.
     fn refill(&mut self) {
         debug_assert!(self.pos >= self.buf.len(), "refill with unconsumed accesses");
         self.buf.clear();
         self.pos = 0;
-        let user = self.emit_user_run();
-        let service = self.pick_kernel_entry();
-        let kernel = self
-            .kernel
-            .emit_burst(service, &mut self.rng, &mut self.buf);
-        self.refs_until_tick -= (user + kernel) as i64;
+        while self.buf.len() < Self::DEFAULT_CHUNK {
+            let user = self.emit_user_run();
+            let service = self.pick_kernel_entry();
+            let kernel = self
+                .kernel
+                .emit_burst(service, &mut self.rng, &mut self.buf);
+            self.refs_until_tick -= (user + kernel) as i64;
+        }
     }
 
     /// Default number of accesses [`TraceGenerator::fill`] produces into

@@ -58,10 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         L2Design::dynamic_default(),
     ];
     let mut reports = Vec::new();
+    let mut walls = Vec::new();
     for design in designs {
         let mut sys = System::new("custom-session", design, SystemConfig::default())?;
+        let start = std::time::Instant::now();
         sys.run(trace.iter().copied());
         reports.push(sys.finish());
+        walls.push(start.elapsed().as_nanos() as u64);
     }
 
     println!();
@@ -70,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Export the raw numbers for plotting.
     let path = std::env::temp_dir().join("moca_custom_workload.csv");
     let file = std::fs::File::create(&path)?;
-    write_csv(std::io::BufWriter::new(file), reports.iter())?;
+    write_csv(
+        std::io::BufWriter::new(file),
+        reports.iter().zip(walls.iter().copied()),
+    )?;
     println!("wrote {}", path.display());
     Ok(())
 }

@@ -25,6 +25,13 @@ echo "== bench regression guard (micro vs BENCH_micro.json) =="
 # is not.
 mkdir -p target
 cargo bench -p moca-bench --offline --bench micro | tee target/bench_micro_current.txt
+# The fan-out and arena benches must be present in the run (bench_guard
+# fails on baseline benches missing from the current run, but only if
+# they are in the baseline — keep this check in sync with BENCH_micro.json).
+for bench in "sweep-fanout/8-designs-100k" "chunk-arena/hit-rate"; do
+  grep -q "\"bench\":\"$bench\"" target/bench_micro_current.txt \
+    || { echo "missing micro bench: $bench"; exit 1; }
+done
 cargo run -q --release -p moca-bench --offline --bin bench_guard -- \
   BENCH_micro.json target/bench_micro_current.txt --max-regression 0.30
 
