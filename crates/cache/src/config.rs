@@ -20,6 +20,31 @@ pub enum GeometryError {
     },
     /// More ways than [`WayMask`] can represent (64).
     TooManyWays(u32),
+    /// A single way index beyond the representable range.
+    WayOutOfRange(u32),
+    /// A way range with `lo > hi` or `hi > 64`.
+    InvalidWayRange {
+        /// Inclusive lower bound of the requested range.
+        lo: u32,
+        /// Exclusive upper bound of the requested range.
+        hi: u32,
+    },
+    /// A user/kernel partition requesting more ways than the cache has.
+    PartitionOverflow {
+        /// Requested user ways.
+        user: u32,
+        /// Requested kernel ways.
+        kernel: u32,
+        /// Physical ways available.
+        ways: u32,
+    },
+    /// User and kernel partitions claiming the same way.
+    PartitionOverlap {
+        /// The user partition's mask bits.
+        user: u64,
+        /// The kernel partition's mask bits.
+        kernel: u64,
+    },
 }
 
 impl fmt::Display for GeometryError {
@@ -40,6 +65,20 @@ impl fmt::Display for GeometryError {
             GeometryError::TooManyWays(w) => {
                 write!(f, "at most 64 ways are supported, got {w}")
             }
+            GeometryError::WayOutOfRange(w) => {
+                write!(f, "way index {w} is out of range (ways are 0..64)")
+            }
+            GeometryError::InvalidWayRange { lo, hi } => {
+                write!(f, "invalid way range {lo}..{hi}")
+            }
+            GeometryError::PartitionOverflow { user, kernel, ways } => write!(
+                f,
+                "partition {user} user + {kernel} kernel ways exceeds the {ways} physical ways"
+            ),
+            GeometryError::PartitionOverlap { user, kernel } => write!(
+                f,
+                "user ({user:#x}) and kernel ({kernel:#x}) partitions overlap"
+            ),
         }
     }
 }
@@ -108,6 +147,21 @@ impl CacheGeometry {
         })
     }
 
+    /// Explicitly-named alias of [`CacheGeometry::new`], for call sites
+    /// that want the fallibility visible in the name (workspace
+    /// convention: every layer exposes a `try_*` constructor path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CacheGeometry::new`].
+    pub fn try_new(
+        capacity_bytes: u64,
+        ways: u32,
+        line_bytes: u64,
+    ) -> Result<Self, GeometryError> {
+        Self::new(capacity_bytes, ways, line_bytes)
+    }
+
     /// Builds a geometry directly from a set count.
     ///
     /// # Errors
@@ -118,6 +172,15 @@ impl CacheGeometry {
             return Err(GeometryError::Zero("sets"));
         }
         Self::new(sets * u64::from(ways) * line_bytes, ways, line_bytes)
+    }
+
+    /// Explicitly-named alias of [`CacheGeometry::from_sets`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CacheGeometry::new`].
+    pub fn try_from_sets(sets: u64, ways: u32, line_bytes: u64) -> Result<Self, GeometryError> {
+        Self::from_sets(sets, ways, line_bytes)
     }
 
     /// Number of sets.
@@ -186,24 +249,52 @@ impl WayMask {
     ///
     /// # Panics
     ///
-    /// Panics if `ways > 64`.
+    /// Panics if `ways > 64`; see [`WayMask::try_first`] for the
+    /// fallible path this delegates to.
+    #[inline]
     pub fn first(ways: u32) -> Self {
-        assert!(ways <= 64, "at most 64 ways");
-        if ways == 64 {
+        Self::try_first(ways).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`WayMask::first`].
+    ///
+    /// # Errors
+    ///
+    /// [`GeometryError::TooManyWays`] if `ways > 64`.
+    #[inline]
+    pub fn try_first(ways: u32) -> Result<Self, GeometryError> {
+        if ways > 64 {
+            return Err(GeometryError::TooManyWays(ways));
+        }
+        Ok(if ways == 64 {
             WayMask(u64::MAX)
         } else {
             WayMask((1u64 << ways) - 1)
-        }
+        })
     }
 
     /// A mask containing ways `lo..hi`.
     ///
     /// # Panics
     ///
-    /// Panics if `lo > hi` or `hi > 64`.
+    /// Panics if `lo > hi` or `hi > 64`; see [`WayMask::try_range`] for
+    /// the fallible path this delegates to.
+    #[inline]
     pub fn range(lo: u32, hi: u32) -> Self {
-        assert!(lo <= hi && hi <= 64, "invalid way range {lo}..{hi}");
-        Self::first(hi).difference(Self::first(lo))
+        Self::try_range(lo, hi).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`WayMask::range`].
+    ///
+    /// # Errors
+    ///
+    /// [`GeometryError::InvalidWayRange`] if `lo > hi` or `hi > 64`.
+    #[inline]
+    pub fn try_range(lo: u32, hi: u32) -> Result<Self, GeometryError> {
+        if lo > hi || hi > 64 {
+            return Err(GeometryError::InvalidWayRange { lo, hi });
+        }
+        Ok(Self::try_first(hi)?.difference(Self::try_first(lo)?))
     }
 
     /// A mask from raw bits.
@@ -235,10 +326,24 @@ impl WayMask {
     ///
     /// # Panics
     ///
-    /// Panics if `way >= 64`.
+    /// Panics if `way >= 64`; see [`WayMask::try_with`] for the
+    /// fallible path this delegates to.
+    #[inline]
     pub fn with(&self, way: u32) -> Self {
-        assert!(way < 64);
-        WayMask(self.0 | (1u64 << way))
+        self.try_with(way).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`WayMask::with`].
+    ///
+    /// # Errors
+    ///
+    /// [`GeometryError::WayOutOfRange`] if `way >= 64`.
+    #[inline]
+    pub fn try_with(&self, way: u32) -> Result<Self, GeometryError> {
+        if way >= 64 {
+            return Err(GeometryError::WayOutOfRange(way));
+        }
+        Ok(WayMask(self.0 | (1u64 << way)))
     }
 
     /// Returns the mask with `way` removed.
@@ -324,6 +429,110 @@ impl Iterator for WayMaskIter {
             self.0 &= self.0 - 1;
             Some(w)
         }
+    }
+}
+
+/// A validated user/kernel way partition of a set-associative cache.
+///
+/// The partitioned L2 designs of the paper split the physical ways into
+/// a user region and a kernel region. `PartitionSpec` centralizes the
+/// invariants every such split must satisfy — both regions fit in the
+/// physical ways, and they are disjoint — so design construction gets
+/// one fallible path instead of scattered asserts.
+///
+/// # Examples
+///
+/// ```
+/// use moca_cache::{GeometryError, PartitionSpec};
+///
+/// let p = PartitionSpec::split(6, 4, 16)?;
+/// assert_eq!(p.user().count(), 6);
+/// assert_eq!(p.kernel().count(), 4);
+/// assert!(p.user().is_disjoint(p.kernel()));
+///
+/// // 10 + 8 ways cannot fit a 16-way cache.
+/// assert!(matches!(
+///     PartitionSpec::split(10, 8, 16),
+///     Err(GeometryError::PartitionOverflow { .. })
+/// ));
+/// # Ok::<(), GeometryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionSpec {
+    user: WayMask,
+    kernel: WayMask,
+}
+
+impl PartitionSpec {
+    /// Splits `ways` physical ways into the first `user_ways` for user
+    /// lines and the next `kernel_ways` for kernel lines (the layout
+    /// used by all static and dynamic partitioned designs).
+    ///
+    /// # Errors
+    ///
+    /// [`GeometryError::PartitionOverflow`] if `user_ways + kernel_ways`
+    /// exceeds `ways` (or overflows), and any error of
+    /// [`WayMask::try_range`] if `ways > 64`.
+    pub fn split(user_ways: u32, kernel_ways: u32, ways: u32) -> Result<Self, GeometryError> {
+        let total = user_ways
+            .checked_add(kernel_ways)
+            .ok_or(GeometryError::PartitionOverflow {
+                user: user_ways,
+                kernel: kernel_ways,
+                ways,
+            })?;
+        if total > ways {
+            return Err(GeometryError::PartitionOverflow {
+                user: user_ways,
+                kernel: kernel_ways,
+                ways,
+            });
+        }
+        Self::from_masks(
+            WayMask::try_first(user_ways)?,
+            WayMask::try_range(user_ways, total)?,
+        )
+    }
+
+    /// Builds a partition from explicit masks.
+    ///
+    /// # Errors
+    ///
+    /// [`GeometryError::PartitionOverlap`] if the masks share a way.
+    pub fn from_masks(user: WayMask, kernel: WayMask) -> Result<Self, GeometryError> {
+        if !user.is_disjoint(kernel) {
+            return Err(GeometryError::PartitionOverlap {
+                user: user.bits(),
+                kernel: kernel.bits(),
+            });
+        }
+        Ok(Self { user, kernel })
+    }
+
+    /// The user region's way mask.
+    pub fn user(&self) -> WayMask {
+        self.user
+    }
+
+    /// The kernel region's way mask.
+    pub fn kernel(&self) -> WayMask {
+        self.kernel
+    }
+
+    /// Union of both regions.
+    pub fn all(&self) -> WayMask {
+        self.user.union(self.kernel)
+    }
+
+    /// Total partitioned ways (user + kernel).
+    pub fn total_ways(&self) -> u32 {
+        self.all().count()
+    }
+}
+
+impl fmt::Display for PartitionSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user {} | kernel {}", self.user, self.kernel)
     }
 }
 
@@ -444,5 +653,120 @@ mod tests {
     fn waymask_display() {
         let m = WayMask::EMPTY.with(0).with(2);
         assert_eq!(m.to_string(), "ways{0,2}");
+    }
+
+    #[test]
+    fn try_new_aliases_match_fallible_constructors() {
+        assert_eq!(
+            CacheGeometry::try_new(2 << 20, 16, 64),
+            CacheGeometry::new(2 << 20, 16, 64)
+        );
+        assert_eq!(
+            CacheGeometry::try_new(0, 16, 64),
+            Err(GeometryError::Zero("capacity"))
+        );
+        assert_eq!(
+            CacheGeometry::try_from_sets(512, 4, 64),
+            CacheGeometry::from_sets(512, 4, 64)
+        );
+        assert_eq!(
+            CacheGeometry::try_from_sets(0, 4, 64),
+            Err(GeometryError::Zero("sets"))
+        );
+    }
+
+    #[test]
+    fn try_waymask_constructors_reject_each_invalid_class() {
+        // Too many ways for a first-N mask.
+        assert_eq!(WayMask::try_first(64), Ok(WayMask(u64::MAX)));
+        assert_eq!(WayMask::try_first(65), Err(GeometryError::TooManyWays(65)));
+        // Inverted or out-of-bounds ranges.
+        assert_eq!(WayMask::try_range(2, 5), Ok(WayMask::range(2, 5)));
+        assert_eq!(
+            WayMask::try_range(5, 2),
+            Err(GeometryError::InvalidWayRange { lo: 5, hi: 2 })
+        );
+        assert_eq!(
+            WayMask::try_range(0, 65),
+            Err(GeometryError::InvalidWayRange { lo: 0, hi: 65 })
+        );
+        // Single-way index out of range.
+        assert_eq!(WayMask::EMPTY.try_with(63), Ok(WayMask::EMPTY.with(63)));
+        assert_eq!(
+            WayMask::EMPTY.try_with(64),
+            Err(GeometryError::WayOutOfRange(64))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 ways")]
+    fn asserting_first_delegates_to_fallible_path() {
+        let _ = WayMask::first(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid way range")]
+    fn asserting_range_delegates_to_fallible_path() {
+        let _ = WayMask::range(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn asserting_with_delegates_to_fallible_path() {
+        let _ = WayMask::EMPTY.with(64);
+    }
+
+    #[test]
+    fn partition_split_lays_out_user_then_kernel() {
+        let p = PartitionSpec::split(6, 4, 16).expect("valid");
+        assert_eq!(p.user(), WayMask::first(6));
+        assert_eq!(p.kernel(), WayMask::range(6, 10));
+        assert_eq!(p.all(), WayMask::first(10));
+        assert_eq!(p.total_ways(), 10);
+        assert_eq!(p.to_string(), format!("user {} | kernel {}", p.user(), p.kernel()));
+    }
+
+    #[test]
+    fn partition_rejects_overflow_and_overlap() {
+        assert_eq!(
+            PartitionSpec::split(10, 8, 16),
+            Err(GeometryError::PartitionOverflow {
+                user: 10,
+                kernel: 8,
+                ways: 16
+            })
+        );
+        assert_eq!(
+            PartitionSpec::split(u32::MAX, 2, 16),
+            Err(GeometryError::PartitionOverflow {
+                user: u32::MAX,
+                kernel: 2,
+                ways: 16
+            })
+        );
+        assert!(matches!(
+            PartitionSpec::split(70, 0, 80),
+            Err(GeometryError::TooManyWays(70))
+        ));
+        let err = PartitionSpec::from_masks(WayMask::first(4), WayMask::range(3, 6));
+        assert_eq!(
+            err,
+            Err(GeometryError::PartitionOverlap {
+                user: 0b1111,
+                kernel: 0b111000
+            })
+        );
+        let e = err.unwrap_err();
+        assert!(e.to_string().contains("overlap"), "{e}");
+    }
+
+    #[test]
+    fn partition_edge_splits() {
+        // Zero-way regions are representable (a fully user or fully
+        // kernel cache) and full-width splits are exact.
+        let all_user = PartitionSpec::split(16, 0, 16).expect("valid");
+        assert!(all_user.kernel().is_empty());
+        let exact = PartitionSpec::split(8, 8, 16).expect("valid");
+        assert_eq!(exact.total_ways(), 16);
     }
 }

@@ -44,7 +44,7 @@ pub mod shadow;
 pub mod stats;
 
 pub use cache::{AccessResult, BlockView, EvictedBlock, SetAssocCache};
-pub use config::{CacheGeometry, GeometryError, WayMask};
+pub use config::{CacheGeometry, GeometryError, PartitionSpec, WayMask};
 pub use hierarchy::{L1Outcome, L1Pair, L2Cause, L2Request};
 pub use replacement::ReplacementPolicy;
 pub use shadow::UtilityMonitor;

@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--jobs N] [F1|F2|F3|F4|F5|T2|F6|F7|F8|A1..A7 ...]
+//! repro [--quick] [--jobs N] [--checkpoint DIR | --resume DIR]
+//!       [F1|F2|F3|F4|F5|T2|F6|F7|F8|A1..A7 ...]
 //! ```
 //!
 //! With no experiment ids, runs the whole suite (this is how
@@ -13,137 +14,292 @@
 //! shards the independent simulations of each experiment over `N`
 //! threads (default: all available cores); the output is bit-identical
 //! for every `N`.
+//!
+//! # Fault tolerance
+//!
+//! * Unknown `--flags` are rejected with a usage message (exit 2), not
+//!   silently dropped.
+//! * Each experiment runs panic-isolated: one failing experiment is
+//!   reported and the rest still run (exit is non-zero).
+//! * `--checkpoint DIR` journals every finished experiment to
+//!   `DIR/journal.csv` as it completes; `--resume DIR` replays finished
+//!   experiments byte-identically from the journal and only runs what is
+//!   missing — a killed multi-minute run restarts in seconds.
+//! * All report output is written through `io::Result`-checked writers:
+//!   a full disk or closed pipe produces a real error message and a
+//!   non-zero exit instead of a panic.
 
+use std::io::{self, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use moca_sim::experiments::{self, ExperimentResult};
-use moca_sim::parallel::Jobs;
+use moca_sim::checkpoint::{experiment_key, Journal};
+use moca_sim::experiments::{self, matrix, ExperimentResult};
+use moca_sim::parallel::{catch_panic, Jobs};
 use moca_sim::workloads::Scale;
 use moca_sim::SystemConfig;
 
-fn print_header(scale: Scale, jobs: Jobs) {
-    println!("# moca reproduction run");
-    println!();
-    println!(
+/// Suite order of the experiment ids (the order of `experiments::all`).
+const SUITE_IDS: [&str; 16] = [
+    "F1", "F2", "F3", "F4", "F5", "T2", "F6", "F7", "F8", "A1", "A2", "A3", "A4", "A5", "A6",
+    "A7",
+];
+
+const USAGE: &str = "usage: repro [--quick] [--jobs N] [--checkpoint DIR | --resume DIR] [IDS...]
+  --quick           CI scale (short traces) instead of full scale
+  --jobs N          worker threads per experiment (default: all cores)
+  --checkpoint DIR  journal finished experiments to DIR (created if needed)
+  --resume DIR      replay finished experiments from DIR, run the rest
+  IDS               experiment ids (F1..F8, T2, A1..A7); default: all";
+
+/// Parsed command line.
+struct Options {
+    scale: Scale,
+    jobs: Jobs,
+    /// Journal directory; `resume` controls whether it must pre-exist.
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    ids: Vec<String>,
+}
+
+/// Parses the command line, rejecting unknown flags and malformed
+/// values with a message for stderr.
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        scale: Scale::Full,
+        jobs: Jobs::available(),
+        checkpoint: None,
+        resume: false,
+        ids: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        // `--flag value` and `--flag=value` are both accepted.
+        let (flag, mut inline_value) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let mut take_value = |name: &str| -> Result<String, String> {
+            if let Some(v) = inline_value.take() {
+                return Ok(v);
+            }
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag {
+            "--quick" => opts.scale = Scale::Quick,
+            "--jobs" => {
+                let v = take_value("--jobs")?;
+                opts.jobs = v
+                    .parse()
+                    .map_err(|e| format!("invalid --jobs value {v:?}: {e}"))?;
+            }
+            "--checkpoint" => {
+                opts.checkpoint = Some(PathBuf::from(take_value("--checkpoint")?));
+                opts.resume = false;
+            }
+            "--resume" => {
+                opts.checkpoint = Some(PathBuf::from(take_value("--resume")?));
+                opts.resume = true;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}\n{USAGE}"));
+            }
+            id => {
+                let id = id.to_ascii_uppercase();
+                if !SUITE_IDS.contains(&id.as_str()) {
+                    return Err(format!("unknown experiment id: {id}\n{USAGE}"));
+                }
+                opts.ids.push(id);
+            }
+        }
+        if flag == "--quick" && inline_value.is_some() {
+            return Err(format!("--quick takes no value\n{USAGE}"));
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn print_header<W: Write>(out: &mut W, scale: Scale, jobs: Jobs) -> io::Result<()> {
+    writeln!(out, "# moca reproduction run")?;
+    writeln!(out)?;
+    writeln!(
+        out,
         "scale: {:?} ({} refs/app; sweeps {} refs/app), seed {:#x}, jobs {}",
         scale,
         scale.refs(),
         scale.sweep_refs(),
         moca_sim::EXPERIMENT_SEED,
         jobs
-    );
-    println!();
-    println!("## T1 — system configuration");
-    println!();
-    println!("{}", SystemConfig::default().describe());
-    println!(
+    )?;
+    writeln!(out)?;
+    writeln!(out, "## T1 — system configuration")?;
+    writeln!(out)?;
+    writeln!(out, "{}", SystemConfig::default().describe())?;
+    writeln!(
+        out,
         "L2 baseline: 2 MiB, 16-way, 64 B lines, SRAM, LRU, write-back\n\
          static design: 6 user + 4 kernel ways, STT-RAM 1s (user) / 10ms (kernel)\n\
          dynamic design: 16 ways max, STT-RAM 100ms/10ms, 500k-cycle epochs"
-    );
-    println!();
+    )?;
+    writeln!(out)
 }
 
-/// Parses `--jobs N` / `--jobs=N` out of `args`. Returns an error string
-/// for a missing or invalid value.
-fn parse_jobs(args: &[String]) -> Result<Jobs, String> {
-    let mut jobs = Jobs::available();
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if a == "--jobs" {
-            let v = args
-                .get(i + 1)
-                .ok_or_else(|| "--jobs requires a value".to_string())?;
-            jobs = v
-                .parse()
-                .map_err(|e| format!("invalid --jobs value {v:?}: {e}"))?;
-            i += 2;
-            continue;
-        }
-        if let Some(v) = a.strip_prefix("--jobs=") {
-            jobs = v
-                .parse()
-                .map_err(|e| format!("invalid --jobs value {v:?}: {e}"))?;
-        }
-        i += 1;
-    }
-    Ok(jobs)
+/// Outcome of one experiment slot in the run.
+enum Block {
+    /// Run (or replayed) successfully; rendered block + claim pass flag.
+    Done { rendered: String, passed: bool },
+    /// The experiment panicked; it is reported but does not abort the run.
+    Aborted { id: String, message: String },
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let jobs = match parse_jobs(&args) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+/// Runs (or replays) one experiment, sharing the T2/F6 design matrix.
+fn run_experiment(
+    id: &str,
+    scale: Scale,
+    jobs: Jobs,
+    matrix_cache: &mut Option<matrix::DesignMatrix>,
+) -> Result<ExperimentResult, String> {
+    catch_panic(|| match id {
+        // T2 and F6 both consume the design matrix; compute it once.
+        "T2" | "F6" => {
+            let m = matrix_cache.get_or_insert_with(|| matrix::run_matrix(scale, jobs));
+            if id == "T2" {
+                experiments::energy_table::from_matrix(m)
+            } else {
+                experiments::performance::from_matrix(m)
+            }
         }
+        _ => experiments::by_id(id, scale, jobs).expect("id validated at parse time"),
+    })
+}
+
+fn run(opts: &Options) -> io::Result<ExitCode> {
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+
+    let mut journal = match &opts.checkpoint {
+        Some(dir) if opts.resume => Some(Journal::resume(dir)?),
+        Some(dir) => Some(Journal::open(dir)?),
+        None => None,
     };
-    let mut skip_next = false;
-    let ids: Vec<&String> = args
-        .iter()
-        .filter(|a| {
-            if skip_next {
-                skip_next = false;
-                return false;
-            }
-            if *a == "--jobs" {
-                skip_next = true;
-            }
-            !a.starts_with("--")
-        })
-        .collect();
-    let scale = if quick { Scale::Quick } else { Scale::Full };
 
-    print_header(scale, jobs);
+    print_header(&mut out, opts.scale, opts.jobs)?;
+
+    let ids: Vec<&str> = if opts.ids.is_empty() {
+        SUITE_IDS.to_vec()
+    } else {
+        opts.ids.iter().map(String::as_str).collect()
+    };
 
     let start = Instant::now();
-    let results: Vec<ExperimentResult> = if ids.is_empty() {
-        experiments::all(scale, jobs)
-    } else {
-        let mut out = Vec::new();
-        for id in &ids {
-            match experiments::by_id(id, scale, jobs) {
-                Some(r) => out.push(r),
-                None => {
-                    eprintln!("unknown experiment id: {id}");
-                    return ExitCode::FAILURE;
+    let scale_tag = format!("{:?}", opts.scale);
+    let mut matrix_cache: Option<matrix::DesignMatrix> = None;
+    let mut blocks_failed = 0usize;
+    let mut aborted = 0usize;
+    let mut replayed = 0usize;
+    let mut recorded = 0usize;
+
+    for id in &ids {
+        let key = experiment_key(id, &scale_tag, moca_sim::EXPERIMENT_SEED);
+        let block = match journal.as_ref().and_then(|j| j.get(&key)) {
+            Some(rendered) => {
+                replayed += 1;
+                Block::Done {
+                    passed: !rendered.contains("[FAIL]"),
+                    rendered: rendered.to_string(),
                 }
             }
+            None => match run_experiment(id, opts.scale, opts.jobs, &mut matrix_cache) {
+                Ok(result) => {
+                    let rendered = result.render();
+                    if let Some(j) = journal.as_mut() {
+                        j.record(&key, &rendered)?;
+                        recorded += 1;
+                    }
+                    Block::Done {
+                        passed: result.passed(),
+                        rendered,
+                    }
+                }
+                Err(message) => Block::Aborted {
+                    id: (*id).to_string(),
+                    message,
+                },
+            },
+        };
+        match block {
+            Block::Done { rendered, passed } => {
+                write!(out, "{rendered}")?;
+                if !passed {
+                    blocks_failed += 1;
+                }
+            }
+            Block::Aborted { id, message } => {
+                writeln!(out, "## {id} — ABORTED\n")?;
+                writeln!(out, "experiment panicked: {message}")?;
+                writeln!(out, "(remaining experiments continue; exit will be non-zero)\n")?;
+                aborted += 1;
+            }
         }
-        out
-    };
-
-    let mut failed = 0usize;
-    for r in &results {
-        print!("{}", r.render());
-        if !r.passed() {
-            failed += 1;
-        }
+        // Keep completed blocks visible even if the process dies later.
+        out.flush()?;
     }
 
-    println!("---");
+    writeln!(out, "---")?;
     let arena = moca_sim::ChunkArena::global().stats();
-    println!(
-        "{} experiments, {} failed claim set(s), wall time {:.1}s",
-        results.len(),
-        failed,
+    writeln!(
+        out,
+        "{} experiments, {} failed claim set(s), {} aborted, wall time {:.1}s",
+        ids.len(),
+        blocks_failed,
+        aborted,
         start.elapsed().as_secs_f64()
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "trace arena: {} chunk(s) cached, {} hit(s) / {} miss(es) ({:.0}% hit rate), {} rejected",
         arena.cached_chunks,
         arena.hits,
         arena.misses,
         arena.hit_rate() * 100.0,
         arena.rejected
-    );
-    if failed == 0 {
+    )?;
+    if let (Some(j), Some(dir)) = (&journal, &opts.checkpoint) {
+        writeln!(
+            out,
+            "checkpoint: {replayed} replayed, {recorded} recorded, journal {} ({} entries)",
+            dir.join(Journal::FILE_NAME).display(),
+            j.len()
+        )?;
+    }
+    out.flush()?;
+    Ok(if blocks_failed == 0 && aborted == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("repro: i/o error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

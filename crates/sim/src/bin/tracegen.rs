@@ -33,7 +33,12 @@ fn main() -> ExitCode {
         }
         if a == "--seed" {
             skip_next = true; // the seed value is consumed below
-        } else if !a.starts_with("--") {
+        } else if a.starts_with("--") {
+            if a != "--text" {
+                eprintln!("unknown flag: {a}");
+                return usage();
+            }
+        } else {
             positional.push(a);
         }
     }
@@ -78,6 +83,9 @@ fn main() -> ExitCode {
     } else {
         write_binary(&mut writer, trace)
     };
+    // Flush explicitly: BufWriter's Drop swallows flush errors, and a
+    // full disk at the final flush must still fail the run.
+    let result = result.and_then(|()| std::io::Write::flush(&mut writer));
     match result {
         Ok(()) => {
             eprintln!("wrote {refs} references of '{name}' (seed {seed}) to {path}");

@@ -41,8 +41,9 @@ use moca_trace::fxhash::FxHashMap;
 use moca_trace::{AppProfile, MemoryAccess, TraceGenerator};
 
 use crate::config::SystemConfig;
+use crate::error::{PointCause, SweepPointError};
 use crate::metrics::SimReport;
-use crate::parallel::{parallel_map, Jobs};
+use crate::parallel::{catch_panic, parallel_map, Jobs};
 use crate::system::System;
 
 /// Length of every arena chunk in accesses.
@@ -168,6 +169,28 @@ impl ChunkArena {
         // are byte-identical, so keeping the first is arbitrary but
         // consistent.
         inner.chunks.entry(key).or_insert_with(|| Arc::clone(chunk));
+    }
+
+    /// Deliberately poisons the arena's internal lock (fault injection).
+    ///
+    /// Spawns a short-lived thread that panics while holding the lock,
+    /// leaving the `Mutex` poisoned — exactly the state a crashed worker
+    /// leaves behind. Every accessor recovers via
+    /// [`PoisonError::into_inner`] (the critical sections keep the map
+    /// consistent), so streams, inserts, and [`ChunkArena::stats`] keep
+    /// working afterwards; the fault-tolerance suite pins that recovery.
+    pub fn poison(&self) {
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // catch_panic keeps the injected panic from reaching the
+                // process hook; the guard still drops during unwinding,
+                // which is what marks the mutex poisoned.
+                let _ = catch_panic(|| {
+                    let _guard = self.inner.lock();
+                    panic!("injected arena poison");
+                });
+            });
+        });
     }
 
     /// Current cache counters.
@@ -405,6 +428,158 @@ impl<'a> FanOut<'a> {
         parallel_map(jobs, groups, |group| self.run_timed(group, refs))
             .into_iter()
             .flatten()
+            .collect()
+    }
+}
+
+/// Per-design execution state inside [`FanOut::run_timed_isolated`].
+enum Slot {
+    /// Still simulating: the system plus its accumulated wall time.
+    Live(Box<System>, u64),
+    /// Failed at build time or mid-run; the system (if any) was dropped.
+    Failed(SweepPointError),
+}
+
+impl<'a> FanOut<'a> {
+    /// [`FanOut::run_timed`] with per-design failure isolation: a design
+    /// that fails to build, or panics at any point of its simulation,
+    /// yields `Err(SweepPointError)` in its slot while every other
+    /// design runs to completion on the shared stream.
+    ///
+    /// Failure values are deterministic (build errors are pure functions
+    /// of the design; panics in a deterministic simulation carry a
+    /// deterministic payload), so the failed-point set is identical for
+    /// any grouping of the designs — the property
+    /// [`FanOut::run_parallel_isolated`] relies on.
+    pub fn run_timed_isolated(
+        &self,
+        designs: &[L2Design],
+        refs: usize,
+    ) -> Vec<Result<(SimReport, u64), SweepPointError>> {
+        let mut slots: Vec<Slot> = designs
+            .iter()
+            .enumerate()
+            .map(|(index, design)| {
+                match catch_panic(|| System::new(self.app.name, *design, self.cfg)) {
+                    Ok(Ok(sys)) => Slot::Live(Box::new(sys), 0),
+                    Ok(Err(e)) => Slot::Failed(SweepPointError {
+                        index,
+                        label: design.label(),
+                        cause: PointCause::Build(e),
+                    }),
+                    Err(msg) => Slot::Failed(SweepPointError {
+                        index,
+                        label: design.label(),
+                        cause: PointCause::Panic(msg),
+                    }),
+                }
+            })
+            .collect();
+
+        if slots.iter().any(|s| matches!(s, Slot::Live(..))) {
+            let mut stream = TraceStream::new(self.app, self.seed);
+            let mut left = refs;
+            while left > 0 {
+                let chunk = stream.next_chunk();
+                let n = chunk.len().min(left);
+                for (index, slot) in slots.iter_mut().enumerate() {
+                    let failure = match slot {
+                        Slot::Live(sys, wall) => {
+                            let start = Instant::now();
+                            let outcome = catch_panic(|| {
+                                sys.run_batch(&chunk[..n]);
+                            });
+                            *wall += start.elapsed().as_nanos() as u64;
+                            outcome.err()
+                        }
+                        Slot::Failed(_) => None,
+                    };
+                    if let Some(msg) = failure {
+                        // The panicked system's state is unspecified;
+                        // replacing the slot drops it for good.
+                        *slot = Slot::Failed(SweepPointError {
+                            index,
+                            label: designs[index].label(),
+                            cause: PointCause::Panic(msg),
+                        });
+                    }
+                }
+                left -= n;
+            }
+        }
+
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| match slot {
+                Slot::Live(sys, wall) => {
+                    let start = Instant::now();
+                    match catch_panic(move || sys.finish()) {
+                        Ok(report) => Ok((report, wall + start.elapsed().as_nanos() as u64)),
+                        Err(msg) => Err(SweepPointError {
+                            index,
+                            label: designs[index].label(),
+                            cause: PointCause::Panic(msg),
+                        }),
+                    }
+                }
+                Slot::Failed(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// [`FanOut::run_timed_isolated`] with the designs partitioned over
+    /// `jobs` worker threads (contiguous groups, one shared stream per
+    /// group, input-order merge).
+    ///
+    /// Both the successful reports *and* the failed-point set — indices,
+    /// labels, and rendered causes — are byte-identical to the serial
+    /// [`FanOut::run_timed_isolated`] for every job count.
+    pub fn run_timed_parallel_isolated(
+        &self,
+        designs: &[L2Design],
+        refs: usize,
+        jobs: Jobs,
+    ) -> Vec<Result<(SimReport, u64), SweepPointError>> {
+        let workers = jobs.get().min(designs.len());
+        if workers <= 1 {
+            return self.run_timed_isolated(designs, refs);
+        }
+        let per_group = designs.len().div_ceil(workers);
+        // Pair each group with its offset so per-group point indices can
+        // be rebased to sweep order after the merge.
+        let groups: Vec<(usize, &[L2Design])> = designs
+            .chunks(per_group)
+            .enumerate()
+            .map(|(g, chunk)| (g * per_group, chunk))
+            .collect();
+        parallel_map(jobs, groups, |(offset, group)| {
+            self.run_timed_isolated(group, refs)
+                .into_iter()
+                .map(|r| {
+                    r.map_err(|mut e| {
+                        e.index += offset;
+                        e
+                    })
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// [`FanOut::run`] with per-design failure isolation (reports only,
+    /// `jobs` worker threads).
+    pub fn run_parallel_isolated(
+        &self,
+        designs: &[L2Design],
+        refs: usize,
+        jobs: Jobs,
+    ) -> Vec<Result<SimReport, SweepPointError>> {
+        self.run_timed_parallel_isolated(designs, refs, jobs)
+            .into_iter()
+            .map(|r| r.map(|(report, _)| report))
             .collect()
     }
 }

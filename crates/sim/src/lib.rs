@@ -24,9 +24,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod cpu;
 pub mod dram;
+pub mod error;
 pub mod experiments;
 pub mod fanout;
 pub mod metrics;
@@ -36,13 +38,18 @@ pub mod system;
 pub mod table;
 pub mod workloads;
 
+pub use checkpoint::{sweep_checkpointed, CheckpointedPoint, Journal};
 pub use config::SystemConfig;
 pub use cpu::InOrderCore;
 pub use dram::{DramModel, RowBufferDram, RowBufferParams};
+pub use error::{PointCause, SweepPointError};
 pub use fanout::{fan_out, fan_out_parallel, ArenaStats, ChunkArena, FanOut, TraceStream};
 pub use metrics::{geometric_mean, mean, SimReport};
-pub use parallel::{parallel_map, parallel_map_ref, Jobs};
-pub use sweep::{comparison_table, csv_row, sweep, sweep_parallel, write_csv, SweepPoint};
+pub use parallel::{catch_panic, parallel_map, parallel_map_isolated, parallel_map_ref, Jobs};
+pub use sweep::{
+    comparison_table, csv_row, sweep, sweep_isolated, sweep_parallel, sweep_parallel_isolated,
+    write_csv, SweepPoint,
+};
 pub use system::{BuildSystemError, System};
 pub use workloads::{
     run_app, run_app_with_behavior, run_suite, run_suite_parallel, Scale, EXPERIMENT_SEED,

@@ -20,9 +20,11 @@
 //! golden-figure tests double as determinism oracles
 //! (`crates/sim/tests/determinism.rs`).
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 /// Worker-thread count for parallel experiment execution.
 ///
@@ -156,6 +158,108 @@ where
         .collect()
 }
 
+thread_local! {
+    /// Set while the current thread is inside [`catch_panic`]: the
+    /// process panic hook stays quiet for these expected, contained
+    /// panics instead of spraying a report per isolated work item.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that forwards to the
+/// previous hook unless the panicking thread is inside [`catch_panic`].
+fn install_quiet_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Renders a panic payload as a deterministic message.
+///
+/// `panic!`/`assert!` payloads are `&str` or `String`; anything else
+/// (rare — `panic_any` with a custom type) maps to a fixed placeholder
+/// so the rendering stays byte-stable across runs and thread counts.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic into `Err(message)` instead of
+/// unwinding further.
+///
+/// This is the isolation primitive behind every `*_isolated` runner:
+/// the panic is contained on the current thread, its payload is
+/// preserved as a deterministic string, and the process panic hook is
+/// muted for the duration (a sweep with hundreds of injected faults
+/// should not print hundreds of backtraces).
+///
+/// `AssertUnwindSafe` note: callers must not reuse state `f` mutated
+/// before panicking — the isolated runners drop the failed item's
+/// `System` (and discard its result slot) rather than touching it again.
+///
+/// # Examples
+///
+/// ```
+/// use moca_sim::parallel::catch_panic;
+///
+/// assert_eq!(catch_panic(|| 21 * 2), Ok(42));
+/// let err = catch_panic(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+/// assert_eq!(err, "boom 7");
+/// ```
+pub fn catch_panic<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_panic_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+    QUIET_PANICS.with(|q| q.set(false));
+    result.map_err(panic_message)
+}
+
+/// [`parallel_map`] with per-item panic isolation: a panic inside `f`
+/// yields `Err(message)` for that item while every other item still
+/// completes and the queue keeps draining.
+///
+/// The output is in input order and — because each item's outcome
+/// depends only on the item — both the `Ok` results and the failed-item
+/// *set* (indices and messages) are byte-identical for every `jobs`
+/// value. This is the foundation of the fault-tolerance determinism
+/// contract (`crates/sim/tests/fault_tolerance.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use moca_sim::parallel::{parallel_map_isolated, Jobs};
+///
+/// let out = parallel_map_isolated(Jobs::new(4), (0u64..8).collect(), |x| {
+///     assert!(x != 5, "bad item");
+///     x * x
+/// });
+/// assert_eq!(out[4], Ok(16));
+/// assert_eq!(out[5], Err("bad item".to_string()));
+/// assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+/// ```
+pub fn parallel_map_isolated<T, R, F>(
+    jobs: Jobs,
+    items: Vec<T>,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map(jobs, items, |item| catch_panic(|| f(item)))
+}
+
 /// [`parallel_map`] over borrowed items: applies `f(&items[i])` in
 /// parallel and returns results in input order.
 pub fn parallel_map_ref<'a, T, R, F>(jobs: Jobs, items: &'a [T], f: F) -> Vec<R>
@@ -222,6 +326,51 @@ mod tests {
         assert!("x".parse::<Jobs>().is_err());
         assert_eq!(Jobs::new(0).get(), 1);
         assert!(Jobs::available().get() >= 1);
+    }
+
+    #[test]
+    fn catch_panic_preserves_string_payloads() {
+        assert_eq!(catch_panic(|| 7u32), Ok(7));
+        assert_eq!(catch_panic(|| -> u32 { panic!("static str") }), Err("static str".into()));
+        let idx = 13;
+        assert_eq!(
+            catch_panic(|| -> u32 { panic!("item {idx} bad") }),
+            Err("item 13 bad".into())
+        );
+        assert_eq!(
+            catch_panic(|| -> u32 { std::panic::panic_any(42u64) }),
+            Err("non-string panic payload".into())
+        );
+    }
+
+    #[test]
+    fn isolated_map_contains_panics_and_keeps_draining() {
+        let out = parallel_map_isolated(Jobs::new(4), (0u32..64).collect(), |x| {
+            assert!(x % 10 != 7, "multiple-of-ten-plus-seven: {x}");
+            x + 1
+        });
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i % 10 == 7 {
+                assert_eq!(*r, Err(format!("multiple-of-ten-plus-seven: {i}")));
+            } else {
+                assert_eq!(*r, Ok(i as u32 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_failed_set_is_identical_across_job_counts() {
+        let run = |jobs: usize| {
+            parallel_map_isolated(Jobs::new(jobs), (0u32..97).collect(), |x| {
+                assert!(!(x % 13 == 4), "fault at {x}");
+                x.wrapping_mul(2654435761)
+            })
+        };
+        let reference = run(1);
+        for jobs in [2, 3, 8] {
+            assert_eq!(run(jobs), reference, "jobs = {jobs}");
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::io::{self, Write};
 use moca_core::L2Design;
 use moca_trace::AppProfile;
 
+use crate::error::SweepPointError;
 use crate::fanout::FanOut;
 use crate::metrics::SimReport;
 use crate::parallel::Jobs;
@@ -126,6 +127,81 @@ where
             param: p.clone(),
             report,
             wall_ns,
+        })
+        .collect()
+}
+
+/// [`sweep`] with per-point failure isolation: an invalid or panicking
+/// design point yields `Err(SweepPointError)` in its slot while every
+/// other point still completes.
+///
+/// Equivalent to [`sweep_parallel_isolated`] with [`Jobs::SERIAL`].
+pub fn sweep_isolated<P, F>(
+    params: &[P],
+    to_design: F,
+    app: &AppProfile,
+    refs: usize,
+    seed: u64,
+) -> Vec<Result<SweepPoint<P>, SweepPointError>>
+where
+    P: Clone + Send + Sync,
+    F: Fn(&P) -> L2Design + Sync,
+{
+    sweep_parallel_isolated(params, to_design, app, refs, seed, Jobs::SERIAL)
+}
+
+/// [`sweep_parallel`] with per-point failure isolation.
+///
+/// A design point that fails to build (e.g. zero ways) or panics
+/// mid-simulation is reported as `Err(SweepPointError)`; all remaining
+/// points run to completion. The surviving [`SweepPoint`]s *and* the
+/// failed-point set (indices, labels, rendered causes) are byte-identical
+/// for every `jobs` value — the determinism contract extends to
+/// failures (`crates/sim/tests/fault_tolerance.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use moca_sim::parallel::Jobs;
+/// use moca_sim::sweep::sweep_parallel_isolated;
+/// use moca_core::L2Design;
+/// use moca_trace::AppProfile;
+///
+/// // ways = 0 is rejected at build time; 4 and 8 still complete.
+/// let points = sweep_parallel_isolated(
+///     &[4u32, 0, 8],
+///     |&ways| L2Design::SharedSram { ways },
+///     &AppProfile::music(),
+///     10_000,
+///     1,
+///     Jobs::new(2),
+/// );
+/// assert!(points[0].is_ok() && points[2].is_ok());
+/// assert_eq!(points[1].as_ref().unwrap_err().index, 1);
+/// ```
+pub fn sweep_parallel_isolated<P, F>(
+    params: &[P],
+    to_design: F,
+    app: &AppProfile,
+    refs: usize,
+    seed: u64,
+    jobs: Jobs,
+) -> Vec<Result<SweepPoint<P>, SweepPointError>>
+where
+    P: Clone + Send + Sync,
+    F: Fn(&P) -> L2Design + Sync,
+{
+    let designs: Vec<L2Design> = params.iter().map(|p| to_design(p)).collect();
+    let outcomes = FanOut::new(app, seed).run_timed_parallel_isolated(&designs, refs, jobs);
+    params
+        .iter()
+        .zip(outcomes)
+        .map(|(p, outcome)| {
+            outcome.map(|(report, wall_ns)| SweepPoint {
+                param: p.clone(),
+                report,
+                wall_ns,
+            })
         })
         .collect()
 }

@@ -12,7 +12,7 @@ use crate::dram::{DramModel, RowBufferDram, RowBufferParams};
 use crate::metrics::SimReport;
 
 /// Errors from assembling a [`System`].
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildSystemError {
     /// The L2 design failed validation.
     Design(DesignError),

@@ -323,6 +323,134 @@ macro_rules! require_ne {
     }};
 }
 
+/// A deterministic fault-injection plan for tolerance tests.
+///
+/// Decides, purely from `(seed, index)`, whether the work item at a
+/// given index should fault. Because the decision is **stateless** —
+/// no RNG stream is consumed — the same plan yields the same fault set
+/// no matter how items are sharded across worker threads or in what
+/// order they execute, which is exactly the property a deterministic
+/// panic-isolation contract needs to be testable under `--jobs N`.
+///
+/// ```
+/// use moca_testkit::FaultPlan;
+///
+/// let plan = FaultPlan::new(42).with_rate(1, 4); // ~25% of indices
+/// let a: Vec<usize> = plan.faulty_indices(100);
+/// let b: Vec<usize> = plan.faulty_indices(100);
+/// assert_eq!(a, b); // fully deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Fault when `mix(seed, index) % denom < num`.
+    num: u64,
+    denom: u64,
+}
+
+impl FaultPlan {
+    /// A plan that faults roughly 1 in 8 indices (adjust with
+    /// [`FaultPlan::with_rate`]).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            num: 1,
+            denom: 8,
+        }
+    }
+
+    /// Sets the fault rate to `num / denom` (e.g. `with_rate(1, 3)`
+    /// faults about a third of all indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is zero or `num > denom`.
+    pub fn with_rate(mut self, num: u64, denom: u64) -> Self {
+        assert!(denom > 0 && num <= denom, "rate {num}/{denom} is not a probability");
+        self.num = num;
+        self.denom = denom;
+        self
+    }
+
+    /// Whether the item at `index` should fault — a pure function of
+    /// `(seed, index)`, independent of evaluation order.
+    pub fn should_fault(&self, index: usize) -> bool {
+        // splitmix64-style finalizer over seed ^ index.
+        let mut z = self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % self.denom < self.num
+    }
+
+    /// The indices in `[0, n)` that fault under this plan.
+    pub fn faulty_indices(&self, n: usize) -> Vec<usize> {
+        (0..n).filter(|&i| self.should_fault(i)).collect()
+    }
+
+    /// Panics with a deterministic, index-tagged message when `index`
+    /// is in the plan's fault set; otherwise does nothing.
+    ///
+    /// The message depends only on the index, so a fault-isolation
+    /// layer that captures panic payloads can be checked for exact,
+    /// reproducible error text.
+    pub fn trip(&self, index: usize) {
+        if self.should_fault(index) {
+            panic!("injected fault at index {index}");
+        }
+    }
+}
+
+/// An [`io::Write`] sink that accepts only `limit` bytes, then reports
+/// end-of-space by returning `Ok(0)` — which `write_all` (and thus
+/// `write!`/`writeln!`) converts into [`WriteZero`].
+///
+/// Simulates a full disk or a closed pipe for exercising I/O error
+/// paths without touching the filesystem.
+///
+/// [`WriteZero`]: std::io::ErrorKind::WriteZero
+///
+/// ```
+/// use std::io::Write;
+///
+/// let mut w = moca_testkit::ShortWriter::new(4);
+/// let err = w.write_all(b"too long for four bytes").unwrap_err();
+/// assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+/// assert_eq!(w.written(), b"too ");
+/// ```
+#[derive(Debug, Default)]
+pub struct ShortWriter {
+    remaining: usize,
+    accepted: Vec<u8>,
+}
+
+impl ShortWriter {
+    /// A writer with capacity for exactly `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        Self {
+            remaining: limit,
+            accepted: Vec::with_capacity(limit),
+        }
+    }
+
+    /// The bytes accepted before the writer ran out of space.
+    pub fn written(&self) -> &[u8] {
+        &self.accepted
+    }
+}
+
+impl std::io::Write for ShortWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.remaining);
+        self.accepted.extend_from_slice(&buf[..n]);
+        self.remaining -= n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +540,43 @@ mod tests {
         // exercise the default path.
         let cfg = Config::cases(12);
         assert!(cfg.cases >= 1);
+    }
+
+    #[test]
+    fn fault_plan_is_order_independent() {
+        let plan = FaultPlan::new(0xF00D).with_rate(1, 3);
+        let forward: Vec<bool> = (0..200).map(|i| plan.should_fault(i)).collect();
+        let mut backward: Vec<bool> = (0..200).rev().map(|i| plan.should_fault(i)).collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        assert_eq!(plan.faulty_indices(200), plan.faulty_indices(200));
+    }
+
+    #[test]
+    fn fault_plan_rate_is_roughly_respected() {
+        let hits = FaultPlan::new(7).with_rate(1, 4).faulty_indices(4000).len();
+        // 1/4 of 4000 = 1000; allow generous slack, determinism is the point.
+        assert!((700..1300).contains(&hits), "unexpected fault count {hits}");
+        assert!(FaultPlan::new(7).with_rate(0, 1).faulty_indices(100).is_empty());
+        assert_eq!(FaultPlan::new(7).with_rate(1, 1).faulty_indices(100).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault at index")]
+    fn trip_panics_on_planned_index() {
+        let plan = FaultPlan::new(3).with_rate(1, 1);
+        plan.trip(5);
+    }
+
+    #[test]
+    fn short_writer_truncates_then_reports_write_zero() {
+        use std::io::Write;
+        let mut w = ShortWriter::new(10);
+        w.write_all(b"0123456789").expect("fits exactly");
+        let err = w.write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+        assert_eq!(w.written(), b"0123456789");
+        w.flush().expect("flush is infallible");
     }
 
     #[test]

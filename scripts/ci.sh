@@ -16,6 +16,40 @@ cargo build --release --offline
 echo "== tests (workspace, offline) =="
 cargo test -q --offline --workspace
 
+echo "== fault-tolerance suite (panic isolation, checkpoint, i/o errors) =="
+cargo test -q --offline -p moca-sim --test fault_tolerance
+
+echo "== kill/resume smoke (repro --checkpoint, SIGKILL, --resume) =="
+REPRO=target/release/repro
+SMOKE_IDS=(F3 F5 A2)
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+# Reference: an uninterrupted run. The footer after the --- separator
+# (wall time, arena stats) is run-local by design, so the comparison
+# stops there. Capture fully before trimming: repro treats a closed
+# pipe as a real I/O error (by design), so sed must not cut it short.
+"$REPRO" --quick "${SMOKE_IDS[@]}" > "$SMOKE_DIR/uninterrupted_full.txt"
+sed -n '/^---$/q;p' "$SMOKE_DIR/uninterrupted_full.txt" > "$SMOKE_DIR/uninterrupted.txt"
+# Checkpointed run, killed mid-flight (if it finishes first, the resume
+# below simply replays everything — both paths must produce the same
+# bytes).
+"$REPRO" --quick --checkpoint "$SMOKE_DIR/ckpt" "${SMOKE_IDS[@]}" > /dev/null 2>&1 &
+REPRO_PID=$!
+sleep 1
+kill -9 "$REPRO_PID" 2>/dev/null || true
+wait "$REPRO_PID" 2>/dev/null || true
+test -f "$SMOKE_DIR/ckpt/journal.csv" || { echo "checkpoint journal was not created"; exit 1; }
+# Resume and require byte-identical output up to the footer.
+"$REPRO" --quick --resume "$SMOKE_DIR/ckpt" "${SMOKE_IDS[@]}" > "$SMOKE_DIR/resumed_full.txt"
+sed -n '/^---$/q;p' "$SMOKE_DIR/resumed_full.txt" > "$SMOKE_DIR/resumed.txt"
+diff -u "$SMOKE_DIR/uninterrupted.txt" "$SMOKE_DIR/resumed.txt" \
+  || { echo "kill/resume output diverged from the uninterrupted run"; exit 1; }
+# Unknown flags must be rejected loudly, not silently dropped.
+if "$REPRO" --no-such-flag > /dev/null 2>&1; then
+  echo "repro accepted an unknown flag"; exit 1
+fi
+echo "kill/resume smoke passed"
+
 echo "== bench smoke (1 iteration per target, offline) =="
 cargo bench -p moca-bench --offline -- --smoke
 

@@ -26,3 +26,133 @@ pub use moca_core as core;
 
 /// System model and experiment harness (re-export of `moca-sim`).
 pub use moca_sim as sim;
+
+use std::fmt;
+
+/// The workspace-wide error taxonomy: one variant per layer.
+///
+/// Every fallible path in the workspace surfaces a structured,
+/// layer-specific error; `MocaError` unifies them for callers driving
+/// the stack end to end (CLI front-ends, services, batch drivers), so a
+/// single `Result<_, MocaError>` can carry a bad cache geometry, a
+/// rejected design, a corrupt trace file, a failed sweep point, or a
+/// plain I/O failure without erasing which layer refused.
+///
+/// # Examples
+///
+/// ```
+/// use moca::MocaError;
+/// use moca::cache::CacheGeometry;
+///
+/// fn build() -> Result<CacheGeometry, MocaError> {
+///     Ok(CacheGeometry::try_new(2 << 20, 16, 64)?)
+/// }
+/// assert!(build().is_ok());
+///
+/// let err: MocaError = CacheGeometry::try_new(0, 16, 64).unwrap_err().into();
+/// assert!(err.to_string().contains("geometry"));
+/// ```
+#[derive(Debug)]
+pub enum MocaError {
+    /// An [`L2Design`](moca_core::L2Design) failed validation.
+    Design(moca_core::DesignError),
+    /// A cache geometry, way mask, or partition spec was inconsistent.
+    Geometry(moca_cache::GeometryError),
+    /// A trace file could not be read (I/O, bad magic, corrupt record).
+    Trace(moca_trace::io::ReadTraceError),
+    /// A full [`System`](moca_sim::System) could not be assembled.
+    Build(moca_sim::BuildSystemError),
+    /// One point of a sweep failed (build rejection or caught panic).
+    SweepPoint(moca_sim::SweepPointError),
+    /// An underlying I/O operation failed (report/CSV/checkpoint
+    /// writers, journal files).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MocaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MocaError::Design(e) => write!(f, "invalid design: {e}"),
+            MocaError::Geometry(e) => write!(f, "invalid geometry: {e}"),
+            MocaError::Trace(e) => write!(f, "trace error: {e}"),
+            MocaError::Build(e) => write!(f, "system build error: {e}"),
+            MocaError::SweepPoint(e) => write!(f, "sweep point failure: {e}"),
+            MocaError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MocaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MocaError::Design(e) => Some(e),
+            MocaError::Geometry(e) => Some(e),
+            MocaError::Trace(e) => Some(e),
+            MocaError::Build(e) => Some(e),
+            MocaError::SweepPoint(e) => Some(e),
+            MocaError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<moca_core::DesignError> for MocaError {
+    fn from(e: moca_core::DesignError) -> Self {
+        MocaError::Design(e)
+    }
+}
+
+impl From<moca_cache::GeometryError> for MocaError {
+    fn from(e: moca_cache::GeometryError) -> Self {
+        MocaError::Geometry(e)
+    }
+}
+
+impl From<moca_trace::io::ReadTraceError> for MocaError {
+    fn from(e: moca_trace::io::ReadTraceError) -> Self {
+        MocaError::Trace(e)
+    }
+}
+
+impl From<moca_sim::BuildSystemError> for MocaError {
+    fn from(e: moca_sim::BuildSystemError) -> Self {
+        MocaError::Build(e)
+    }
+}
+
+impl From<moca_sim::SweepPointError> for MocaError {
+    fn from(e: moca_sim::SweepPointError) -> Self {
+        MocaError::SweepPoint(e)
+    }
+}
+
+impl From<std::io::Error> for MocaError {
+    fn from(e: std::io::Error) -> Self {
+        MocaError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn every_layer_converts_and_chains() {
+        let geo: MocaError = moca_cache::CacheGeometry::new(0, 8, 64).unwrap_err().into();
+        assert!(geo.source().is_some());
+        assert!(geo.to_string().contains("geometry"));
+
+        let design: MocaError = moca_core::L2Design::SharedSram { ways: 0 }
+            .validate()
+            .unwrap_err()
+            .into();
+        assert!(design.to_string().contains("invalid design"));
+
+        let io: MocaError = std::io::Error::other("disk full").into();
+        assert!(io.to_string().contains("disk full"));
+
+        let trace: MocaError =
+            moca_trace::io::ReadTraceError::Corrupt("truncated record").into();
+        assert!(trace.to_string().contains("trace error"));
+    }
+}
