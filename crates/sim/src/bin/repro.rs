@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! repro [--quick] [--jobs N] [--checkpoint DIR | --resume DIR]
+//!       [--telemetry PATH] [--progress]
 //!       [F1|F2|F3|F4|F5|T2|F6|F7|F8|A1..A7 ...]
 //! ```
 //!
@@ -28,6 +29,17 @@
 //! * All report output is written through `io::Result`-checked writers:
 //!   a full disk or closed pipe produces a real error message and a
 //!   non-zero exit instead of a panic.
+//!
+//! # Observability
+//!
+//! * `--telemetry PATH` installs the global [`telemetry`] recorder and
+//!   drains the buffered JSONL event stream to `PATH` when the run
+//!   finishes (see `DESIGN.md` § Telemetry & profiling for the schema;
+//!   `telemetry_report` in `moca-bench` aggregates it).
+//! * `--progress` prints one heartbeat line per experiment to stderr
+//!   (`[progress] <id> (<i>/<N>) elapsed <s>`), so a multi-minute run
+//!   is never silent. Heartbeats go to stderr on purpose: stdout stays
+//!   byte-identical with and without the flag.
 
 use std::io::{self, Write};
 use std::path::PathBuf;
@@ -37,8 +49,9 @@ use std::time::Instant;
 use moca_sim::checkpoint::{experiment_key, Journal};
 use moca_sim::experiments::{self, matrix, ExperimentResult};
 use moca_sim::parallel::{catch_panic, Jobs};
+use moca_sim::telemetry::{self, Event};
 use moca_sim::workloads::Scale;
-use moca_sim::SystemConfig;
+use moca_sim::{ChunkArena, SystemConfig};
 
 /// Suite order of the experiment ids (the order of `experiments::all`).
 const SUITE_IDS: [&str; 16] = [
@@ -46,11 +59,14 @@ const SUITE_IDS: [&str; 16] = [
     "A7",
 ];
 
-const USAGE: &str = "usage: repro [--quick] [--jobs N] [--checkpoint DIR | --resume DIR] [IDS...]
+const USAGE: &str = "usage: repro [--quick] [--jobs N] [--checkpoint DIR | --resume DIR]
+             [--telemetry PATH] [--progress] [IDS...]
   --quick           CI scale (short traces) instead of full scale
   --jobs N          worker threads per experiment (default: all cores)
   --checkpoint DIR  journal finished experiments to DIR (created if needed)
   --resume DIR      replay finished experiments from DIR, run the rest
+  --telemetry PATH  write the JSONL telemetry event stream to PATH
+  --progress        print per-experiment heartbeat lines to stderr
   IDS               experiment ids (F1..F8, T2, A1..A7); default: all";
 
 /// Parsed command line.
@@ -60,6 +76,9 @@ struct Options {
     /// Journal directory; `resume` controls whether it must pre-exist.
     checkpoint: Option<PathBuf>,
     resume: bool,
+    /// JSONL telemetry sink; `None` leaves the recorder uninstalled.
+    telemetry: Option<PathBuf>,
+    progress: bool,
     ids: Vec<String>,
 }
 
@@ -71,6 +90,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         jobs: Jobs::available(),
         checkpoint: None,
         resume: false,
+        telemetry: None,
+        progress: false,
         ids: Vec::new(),
     };
     let mut i = 0;
@@ -106,6 +127,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.checkpoint = Some(PathBuf::from(take_value("--resume")?));
                 opts.resume = true;
             }
+            "--telemetry" => {
+                opts.telemetry = Some(PathBuf::from(take_value("--telemetry")?));
+            }
+            "--progress" => opts.progress = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag: {other}\n{USAGE}"));
             }
@@ -117,8 +142,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.ids.push(id);
             }
         }
-        if flag == "--quick" && inline_value.is_some() {
-            return Err(format!("--quick takes no value\n{USAGE}"));
+        if matches!(flag, "--quick" | "--progress") && inline_value.is_some() {
+            return Err(format!("{flag} takes no value\n{USAGE}"));
         }
         i += 1;
     }
@@ -189,6 +214,10 @@ fn run(opts: &Options) -> io::Result<ExitCode> {
         None => None,
     };
 
+    if opts.telemetry.is_some() {
+        telemetry::install();
+    }
+
     print_header(&mut out, opts.scale, opts.jobs)?;
 
     let ids: Vec<&str> = if opts.ids.is_empty() {
@@ -205,11 +234,23 @@ fn run(opts: &Options) -> io::Result<ExitCode> {
     let mut replayed = 0usize;
     let mut recorded = 0usize;
 
-    for id in &ids {
+    for (idx, id) in ids.iter().enumerate() {
+        if opts.progress {
+            eprintln!(
+                "[progress] {id} ({}/{}) elapsed {:.1}s",
+                idx + 1,
+                ids.len(),
+                start.elapsed().as_secs_f64()
+            );
+        }
+        telemetry::set_scope(id);
         let key = experiment_key(id, &scale_tag, moca_sim::EXPERIMENT_SEED);
         let block = match journal.as_ref().and_then(|j| j.get(&key)) {
             Some(rendered) => {
                 replayed += 1;
+                if let Some(j) = journal.as_ref() {
+                    j.note_replay(&key);
+                }
                 Block::Done {
                     passed: !rendered.contains("[FAIL]"),
                     rendered: rendered.to_string(),
@@ -252,7 +293,8 @@ fn run(opts: &Options) -> io::Result<ExitCode> {
     }
 
     writeln!(out, "---")?;
-    let arena = moca_sim::ChunkArena::global().stats();
+    let arena = ChunkArena::global();
+    let stats = arena.stats();
     writeln!(
         out,
         "{} experiments, {} failed claim set(s), {} aborted, wall time {:.1}s",
@@ -264,12 +306,15 @@ fn run(opts: &Options) -> io::Result<ExitCode> {
     writeln!(
         out,
         "trace arena: {} chunk(s) cached, {} hit(s) / {} miss(es) ({:.0}% hit rate), {} rejected",
-        arena.cached_chunks,
-        arena.hits,
-        arena.misses,
-        arena.hit_rate() * 100.0,
-        arena.rejected
+        stats.cached_chunks,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.rejected
     )?;
+    if let Some(warning) = stats.saturation_warning(arena.capacity_chunks()) {
+        writeln!(out, "{warning}")?;
+    }
     if let (Some(j), Some(dir)) = (&journal, &opts.checkpoint) {
         writeln!(
             out,
@@ -279,6 +324,22 @@ fn run(opts: &Options) -> io::Result<ExitCode> {
         )?;
     }
     out.flush()?;
+
+    if let Some(path) = &opts.telemetry {
+        // End-of-run arena snapshot, then drain the buffered stream.
+        telemetry::set_scope("suite");
+        telemetry::record(Event::Arena {
+            cached_chunks: stats.cached_chunks as u64,
+            capacity_chunks: arena.capacity_chunks() as u64,
+            hits: stats.hits,
+            misses: stats.misses,
+            rejected: stats.rejected,
+        });
+        let rec = telemetry::global().expect("recorder installed above");
+        let file = std::fs::File::create(path)?;
+        let events = rec.write_jsonl(io::BufWriter::new(file))?;
+        eprintln!("telemetry: {} event(s) written to {}", events, path.display());
+    }
     Ok(if blocks_failed == 0 && aborted == 0 {
         ExitCode::SUCCESS
     } else {

@@ -44,6 +44,7 @@ use moca_trace::AppProfile;
 use crate::fanout::FanOut;
 use crate::parallel::Jobs;
 use crate::sweep::{csv_row, SweepPoint, CSV_HEADER};
+use crate::telemetry::{self, Event};
 
 /// Fixed-seed fingerprint of a byte string (journal checksums and
 /// design identities).
@@ -248,7 +249,28 @@ impl Journal {
         self.file.write_all(line.as_bytes())?;
         self.file.flush()?;
         self.entries.insert(key.to_string(), payload.to_string());
+        if telemetry::enabled() {
+            telemetry::record(Event::Checkpoint {
+                event: "append",
+                key: key.to_string(),
+            });
+            telemetry::add("checkpoint_appends", 1);
+        }
         Ok(())
+    }
+
+    /// Emits a telemetry `replay` event for `key` (no-op when telemetry
+    /// is disabled). Callers invoke this at the point they serve a
+    /// journal entry instead of simulating — [`Journal::get`] itself
+    /// stays silent because it is also used for existence probes.
+    pub fn note_replay(&self, key: &str) {
+        if telemetry::enabled() {
+            telemetry::record(Event::Checkpoint {
+                event: "replay",
+                key: key.to_string(),
+            });
+            telemetry::add("checkpoint_replays", 1);
+        }
     }
 }
 
@@ -267,8 +289,10 @@ fn parse_record(line: &str) -> Option<(&str, u64, &str)> {
 /// run, or replayed verbatim from the journal.
 #[derive(Debug, Clone)]
 pub enum CheckpointedPoint<P> {
-    /// Simulated by this run (and recorded to the journal).
-    Fresh(SweepPoint<P>),
+    /// Simulated by this run (and recorded to the journal). Boxed: a
+    /// [`SweepPoint`] carries a full report (hundreds of bytes), which
+    /// would otherwise dominate the size of every `Replayed` value too.
+    Fresh(Box<SweepPoint<P>>),
     /// Completed by an earlier run; only the recorded CSV row is
     /// available (reconstructing a full [`SimReport`] is not needed to
     /// export results — and `row` is byte-identical to what this run
@@ -365,7 +389,7 @@ where
     P: Clone + Send + Sync,
     F: Fn(&P) -> L2Design + Sync,
 {
-    let designs: Vec<L2Design> = params.iter().map(|p| to_design(p)).collect();
+    let designs: Vec<L2Design> = params.iter().map(to_design).collect();
     let keys: Vec<String> = designs
         .iter()
         .map(|d| point_key(app, d, seed, refs))
@@ -391,14 +415,17 @@ where
 
     Ok((0..designs.len())
         .map(|i| match fresh.remove(&i) {
-            Some(point) => CheckpointedPoint::Fresh(point),
-            None => CheckpointedPoint::Replayed {
-                param: params[i].clone(),
-                row: journal
-                    .get(&keys[i])
-                    .expect("non-missing point has a journal entry")
-                    .to_string(),
-            },
+            Some(point) => CheckpointedPoint::Fresh(Box::new(point)),
+            None => {
+                journal.note_replay(&keys[i]);
+                CheckpointedPoint::Replayed {
+                    param: params[i].clone(),
+                    row: journal
+                        .get(&keys[i])
+                        .expect("non-missing point has a journal entry")
+                        .to_string(),
+                }
+            }
         })
         .collect())
 }

@@ -92,8 +92,8 @@ pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     });
     for (&duty, row) in duties.iter().zip(reports.chunks(3)) {
         let (base, stat, dynamic) = (&row[0], &row[1], &row[2]);
-        let s_saving = 1.0 - stat.energy_ratio_vs(&base);
-        let d_saving = 1.0 - dynamic.energy_ratio_vs(&base);
+        let s_saving = 1.0 - stat.energy_ratio_vs(base);
+        let d_saving = 1.0 - dynamic.energy_ratio_vs(base);
         static_savings.push(s_saving);
         table.row(vec![
             pct(duty),

@@ -72,8 +72,8 @@ pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
     });
     for (&(a, b), row) in PAIRS.iter().zip(reports.chunks(3)) {
         let (base, stat, dynamic) = (&row[0], &row[1], &row[2]);
-        let saving = 1.0 - stat.energy_ratio_vs(&base);
-        let slow = stat.slowdown_vs(&base);
+        let saving = 1.0 - stat.energy_ratio_vs(base);
+        let slow = stat.slowdown_vs(base);
         savings.push(saving);
         slowdowns.push(slow);
         kernel_shares.push(base.l2_kernel_share());
@@ -83,7 +83,7 @@ pub fn run(scale: Scale, jobs: Jobs) -> ExperimentResult {
             pct(base.l2_stats.cross_eviction_share()),
             pct(saving),
             f3(slow),
-            pct(1.0 - dynamic.energy_ratio_vs(&base)),
+            pct(1.0 - dynamic.energy_ratio_vs(base)),
         ]);
     }
     let mean_saving = savings.iter().sum::<f64>() / savings.len() as f64;

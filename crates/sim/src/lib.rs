@@ -7,7 +7,8 @@
 //! index and `EXPERIMENTS.md` for results), plus sweep/CSV utilities, a
 //! deterministic multi-threaded sweep engine ([`parallel`]), a
 //! shared-trace fan-out runner with a memoized chunk arena ([`fanout`]),
-//! and the `repro` / `tracegen` binaries.
+//! a zero-dependency observability layer ([`telemetry`]), and the
+//! `repro` / `tracegen` binaries.
 //!
 //! ```
 //! use moca_core::L2Design;
@@ -36,6 +37,7 @@ pub mod parallel;
 pub mod sweep;
 pub mod system;
 pub mod table;
+pub mod telemetry;
 pub mod workloads;
 
 pub use checkpoint::{sweep_checkpointed, CheckpointedPoint, Journal};
@@ -51,6 +53,7 @@ pub use sweep::{
     write_csv, SweepPoint,
 };
 pub use system::{BuildSystemError, System};
+pub use telemetry::{Event, JsonlRecorder, NullRecorder, Recorder};
 pub use workloads::{
     run_app, run_app_with_behavior, run_suite, run_suite_parallel, Scale, EXPERIMENT_SEED,
 };

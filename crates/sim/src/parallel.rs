@@ -25,6 +25,9 @@ use std::num::NonZeroUsize;
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
 use std::sync::{Mutex, Once};
+use std::time::Instant;
+
+use crate::telemetry::{self, Event};
 
 /// Worker-thread count for parallel experiment execution.
 ///
@@ -120,27 +123,57 @@ where
     let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let queue = &queue;
             let f = &f;
-            scope.spawn(move || loop {
-                // Hold the lock only to take the next item, never while
-                // running `f`. A poisoned lock means a sibling worker
-                // panicked mid-`next()`; the queue state is still valid
-                // (enumerate() has no invariants to break), so keep
-                // draining — the panic is re-raised by the scope.
-                let next = match queue.lock() {
-                    Ok(mut it) => it.next(),
-                    Err(poisoned) => poisoned.into_inner().next(),
-                };
-                match next {
-                    Some((idx, item)) => {
-                        if tx.send((idx, f(item))).is_err() {
-                            return; // receiver gone: caller is unwinding
+            scope.spawn(move || {
+                // Telemetry is enabled-checked once per worker: the
+                // disabled path adds one load per spawned thread, and
+                // the per-item timing below is skipped entirely.
+                let tele = telemetry::enabled();
+                if tele {
+                    telemetry::record(Event::WorkerStart {
+                        pool: "parallel_map",
+                        worker: worker as u32,
+                        jobs: workers as u32,
+                    });
+                }
+                let mut items = 0u64;
+                let mut busy_ns = 0u64;
+                loop {
+                    // Hold the lock only to take the next item, never while
+                    // running `f`. A poisoned lock means a sibling worker
+                    // panicked mid-`next()`; the queue state is still valid
+                    // (enumerate() has no invariants to break), so keep
+                    // draining — the panic is re-raised by the scope.
+                    let next = match queue.lock() {
+                        Ok(mut it) => it.next(),
+                        Err(poisoned) => poisoned.into_inner().next(),
+                    };
+                    match next {
+                        Some((idx, item)) => {
+                            let start = tele.then(Instant::now);
+                            let result = f(item);
+                            if let Some(start) = start {
+                                busy_ns += start.elapsed().as_nanos() as u64;
+                                items += 1;
+                            }
+                            if tx.send((idx, result)).is_err() {
+                                break; // receiver gone: caller is unwinding
+                            }
                         }
+                        None => break,
                     }
-                    None => return,
+                }
+                if tele {
+                    telemetry::record(Event::WorkerStop {
+                        pool: "parallel_map",
+                        worker: worker as u32,
+                        jobs: workers as u32,
+                        items,
+                        busy_ns,
+                    });
                 }
             });
         }
@@ -363,7 +396,7 @@ mod tests {
     fn isolated_failed_set_is_identical_across_job_counts() {
         let run = |jobs: usize| {
             parallel_map_isolated(Jobs::new(jobs), (0u32..97).collect(), |x| {
-                assert!(!(x % 13 == 4), "fault at {x}");
+                assert!(x % 13 != 4, "fault at {x}");
                 x.wrapping_mul(2654435761)
             })
         };

@@ -61,7 +61,7 @@ pub struct SweepPoint<P> {
 /// ```
 pub fn sweep<P, F>(
     params: &[P],
-    mut to_design: F,
+    to_design: F,
     app: &AppProfile,
     refs: usize,
     seed: u64,
@@ -70,7 +70,7 @@ where
     P: Clone,
     F: FnMut(&P) -> L2Design,
 {
-    let designs: Vec<L2Design> = params.iter().map(|p| to_design(p)).collect();
+    let designs: Vec<L2Design> = params.iter().map(to_design).collect();
     let timed = FanOut::new(app, seed).run_timed(&designs, refs);
     params
         .iter()
@@ -118,7 +118,7 @@ where
     P: Clone + Send + Sync,
     F: Fn(&P) -> L2Design + Sync,
 {
-    let designs: Vec<L2Design> = params.iter().map(|p| to_design(p)).collect();
+    let designs: Vec<L2Design> = params.iter().map(to_design).collect();
     let timed = FanOut::new(app, seed).run_timed_parallel(&designs, refs, jobs);
     params
         .iter()
@@ -191,7 +191,7 @@ where
     P: Clone + Send + Sync,
     F: Fn(&P) -> L2Design + Sync,
 {
-    let designs: Vec<L2Design> = params.iter().map(|p| to_design(p)).collect();
+    let designs: Vec<L2Design> = params.iter().map(to_design).collect();
     let outcomes = FanOut::new(app, seed).run_timed_parallel_isolated(&designs, refs, jobs);
     params
         .iter()
@@ -211,15 +211,38 @@ pub const CSV_HEADER: &str = "app,design,refs,cycles,cpr,l2_accesses,l2_miss_rat
 l2_kernel_share,l2_energy_nj,leakage_nj,dynamic_nj,refresh_nj,dram_energy_nj,\
 dram_reads,dram_writes,expired,refreshes,mean_active_ways,wall_ns";
 
+/// RFC-4180 quoting for one CSV string field: a field containing a
+/// comma, double quote, or line break is wrapped in double quotes with
+/// embedded quotes doubled; anything else passes through unchanged (so
+/// the well-behaved labels every built-in app and design uses render
+/// byte-identically to before).
+fn csv_field(field: &str) -> std::borrow::Cow<'_, str> {
+    if !field.contains([',', '"', '\n', '\r']) {
+        return std::borrow::Cow::Borrowed(field);
+    }
+    let mut out = String::with_capacity(field.len() + 2);
+    out.push('"');
+    for c in field.chars() {
+        if c == '"' {
+            out.push('"');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    std::borrow::Cow::Owned(out)
+}
+
 /// Renders one report as a CSV row (fields per [`CSV_HEADER`]).
 ///
 /// `wall_ns` is the measured simulation time of the point (use
 /// [`SweepPoint::wall_ns`], or `0` when timing was not collected).
+/// The `app` and `design` string fields are RFC-4180-quoted when they
+/// contain CSV metacharacters; numeric fields are never quoted.
 pub fn csv_row(r: &SimReport, wall_ns: u64) -> String {
     format!(
         "{},{},{},{},{:.4},{},{:.5},{:.5},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{:.2},{}",
-        r.app,
-        r.design,
+        csv_field(&r.app),
+        csv_field(&r.design),
         r.refs,
         r.cycles,
         r.cpr(),
@@ -371,6 +394,69 @@ mod tests {
         assert!(lines[1].starts_with("music,"));
         assert!(lines[1].ends_with(",42"), "wall_ns is the final column");
         assert!(CSV_HEADER.ends_with(",wall_ns"));
+    }
+
+    /// RFC-4180 parser for one record (which may span what looks like
+    /// multiple lines when a quoted field embeds a newline).
+    fn parse_csv_record(record: &str) -> Vec<String> {
+        let mut fields = vec![String::new()];
+        let mut chars = record.chars().peekable();
+        let mut in_quotes = false;
+        while let Some(c) = chars.next() {
+            let cur = fields.last_mut().expect("at least one field");
+            if in_quotes {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        cur.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    cur.push(c);
+                }
+            } else {
+                match c {
+                    '"' => in_quotes = true,
+                    ',' => fields.push(String::new()),
+                    c => cur.push(c),
+                }
+            }
+        }
+        fields
+    }
+
+    #[test]
+    fn csv_field_quotes_only_when_needed() {
+        assert_eq!(csv_field("music"), "music");
+        assert_eq!(csv_field("shared-sram-16"), "shared-sram-16");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_field("cr\rhere"), "\"cr\rhere\"");
+    }
+
+    #[test]
+    fn csv_row_round_trips_a_hostile_label() {
+        use crate::config::SystemConfig;
+        use crate::system::System;
+        use moca_trace::TraceGenerator;
+
+        let hostile = "evil \"app\", with,commas\nand a newline";
+        let mut sys = System::new(hostile, L2Design::baseline(), SystemConfig::default())
+            .expect("valid design");
+        sys.run(TraceGenerator::new(&AppProfile::music(), 1).take(5_000));
+        let report = sys.finish();
+
+        let row = csv_row(&report, 7);
+        let fields = parse_csv_record(&row);
+        assert_eq!(fields.len(), CSV_HEADER.split(',').count());
+        assert_eq!(fields[0], hostile, "the label must survive a round trip");
+        assert_eq!(fields.last().map(String::as_str), Some("7"));
+
+        // Well-behaved labels render exactly as before (no quoting).
+        let plain = csv_row(&reports()[0], 0);
+        assert!(!plain.contains('"'), "plain labels must stay unquoted: {plain}");
     }
 
     #[test]

@@ -200,6 +200,12 @@ impl System {
         for a in batch {
             self.step(a);
         }
+        // One enabled-check per ~8192-access batch; the disabled path
+        // costs a single predictable branch, no allocation.
+        if crate::telemetry::enabled() {
+            crate::telemetry::add("sim_batches", 1);
+            crate::telemetry::add("sim_refs", batch.len() as u64);
+        }
         batch.len() as u64
     }
 

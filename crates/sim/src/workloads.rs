@@ -1,5 +1,7 @@
 //! Standard workload execution helpers shared by all experiments.
 
+use std::time::Instant;
+
 use moca_core::L2Design;
 use moca_trace::{AppProfile, TraceGenerator};
 
@@ -7,6 +9,7 @@ use crate::config::SystemConfig;
 use crate::metrics::SimReport;
 use crate::parallel::{parallel_map, Jobs};
 use crate::system::System;
+use crate::telemetry::{self, Event};
 
 /// How long experiments run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,11 +62,9 @@ pub const EXPERIMENT_SEED: u64 = 0x5EED_2015;
 /// Panics if `design` is invalid (experiments construct designs from
 /// validated enums, so this indicates a bug, not bad user input).
 pub fn run_app(app: &AppProfile, design: L2Design, refs: usize, seed: u64) -> SimReport {
-    let mut sys = System::new(app.name, design, SystemConfig::default())
+    let sys = System::new(app.name, design, SystemConfig::default())
         .expect("experiment design must be valid");
-    let mut gen = TraceGenerator::new(app, seed);
-    sys.run_generated(&mut gen, refs);
-    sys.finish()
+    finish_run(sys, app, refs, seed)
 }
 
 /// Runs one app with segment-behaviour probing enabled.
@@ -77,12 +78,51 @@ pub fn run_app_with_behavior(
     refs: usize,
     seed: u64,
 ) -> SimReport {
-    let mut sys = System::new(app.name, design, SystemConfig::default())
+    let sys = System::new(app.name, design, SystemConfig::default())
         .expect("experiment design must be valid")
         .with_behavior_probe();
+    finish_run(sys, app, refs, seed)
+}
+
+/// Drives `sys` over the first `refs` references of `(app, seed)`.
+///
+/// With telemetry disabled this is exactly [`System::run_generated`];
+/// with it enabled, the same chunked loop runs with per-stage timing
+/// and emits one `point` event (`index` 0, `total` 1 — a standalone
+/// run is a one-point sweep). Both paths feed identical batches to the
+/// system, so the report stays byte-identical either way.
+fn finish_run(mut sys: System, app: &AppProfile, refs: usize, seed: u64) -> SimReport {
     let mut gen = TraceGenerator::new(app, seed);
-    sys.run_generated(&mut gen, refs);
-    sys.finish()
+    if !telemetry::enabled() {
+        sys.run_generated(&mut gen, refs);
+        return sys.finish();
+    }
+    let mut chunk = Vec::with_capacity(TraceGenerator::DEFAULT_CHUNK.min(refs.max(1)));
+    let mut gen_ns = 0u64;
+    let mut sim_ns = 0u64;
+    let mut left = refs;
+    while left > 0 {
+        let start = Instant::now();
+        let n = gen.fill(&mut chunk).min(left);
+        gen_ns += start.elapsed().as_nanos() as u64;
+        let start = Instant::now();
+        sys.run_batch(&chunk[..n]);
+        sim_ns += start.elapsed().as_nanos() as u64;
+        left -= n;
+    }
+    let start = Instant::now();
+    let report = sys.finish();
+    let energy_ns = start.elapsed().as_nanos() as u64;
+    telemetry::record(Event::point(
+        &report.app,
+        &report.design,
+        0,
+        1,
+        gen_ns,
+        sim_ns,
+        energy_ns,
+    ));
+    report
 }
 
 /// Runs the whole ten-app suite on one design, serially.

@@ -16,6 +16,9 @@ cargo build --release --offline
 echo "== tests (workspace, offline) =="
 cargo test -q --offline --workspace
 
+echo "== lint (clippy, warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== fault-tolerance suite (panic isolation, checkpoint, i/o errors) =="
 cargo test -q --offline -p moca-sim --test fault_tolerance
 
@@ -49,6 +52,20 @@ if "$REPRO" --no-such-flag > /dev/null 2>&1; then
   echo "repro accepted an unknown flag"; exit 1
 fi
 echo "kill/resume smoke passed"
+
+echo "== telemetry smoke (repro --telemetry + --progress, stream validates) =="
+TELEM="$SMOKE_DIR/telemetry.jsonl"
+"$REPRO" --quick --progress --telemetry "$TELEM" F3 A2 \
+  > "$SMOKE_DIR/telemetry_stdout.txt" 2> "$SMOKE_DIR/telemetry_stderr.txt"
+grep -q '^\[progress\] F3 (1/2)' "$SMOKE_DIR/telemetry_stderr.txt" \
+  || { echo "missing --progress heartbeat on stderr"; exit 1; }
+test -s "$TELEM" || { echo "telemetry stream is empty"; exit 1; }
+# telemetry_report parses every line (exit 2 on the first malformed one)
+# and must find the sweep points in its aggregate.
+target/release/telemetry_report "$TELEM" > "$SMOKE_DIR/telemetry_report.txt"
+grep -q 'per-scope profile' "$SMOKE_DIR/telemetry_report.txt" \
+  || { echo "telemetry_report produced no profile"; exit 1; }
+echo "telemetry smoke passed"
 
 echo "== bench smoke (1 iteration per target, offline) =="
 cargo bench -p moca-bench --offline -- --smoke
