@@ -1,12 +1,14 @@
 //! Microbenchmarks of the substrates: trace generation throughput, the
 //! cache access path, L1 filtering, the utility monitor, the shared-trace
-//! fan-out sweep engine, and the chunk arena.
+//! sweep engines (chunk broadcast and the lock-step kernel), and the
+//! chunk arena.
 
 use moca_bench::{bench_app, Runner, BENCH_SEED};
 use moca_cache::{CacheGeometry, L1Pair, ReplacementPolicy, SetAssocCache, UtilityMonitor, WayMask};
 use moca_core::{L2Design, RefreshPolicy};
 use moca_energy::RetentionClass;
-use moca_sim::fanout::{fan_out, ChunkArena, TraceStream};
+use moca_sim::fanout::{fan_out, ChunkArena, FanOut, TraceStream};
+use moca_sim::lockstep::LockStep;
 use moca_sim::run_app;
 use moca_trace::{AppProfile, Mode, TraceGenerator};
 use std::hint::black_box;
@@ -131,12 +133,32 @@ fn sweep_fanout(r: &mut Runner) {
         }
         black_box(cycles)
     });
-    // Shared-trace fan-out: one stream broadcast to all eight systems
-    // (the warmup iteration leaves the global arena warm, as any sweep
-    // after the first one in a process would find it).
+    // Shared-trace chunk broadcast: one stream stepped per-reference
+    // through all eight systems (the PR 3 reference engine, retained as
+    // `run_broadcast` for the differential harness; the warmup iteration
+    // leaves the global arena warm, as any sweep after the first one in
+    // a process would find it).
     r.throughput_elems((designs.len() * REFS) as u64);
     r.bench("sweep-fanout/8-designs-100k", || {
+        let reports = FanOut::new(&app, BENCH_SEED).run_broadcast(&designs, REFS);
+        black_box(reports.iter().map(|rep| rep.cycles).sum::<u64>())
+    });
+    // The lock-step kernel behind the production entry points: a shared
+    // L1 front end filters each chunk once and the eight design lanes
+    // replay only L2-visible events, skipping pure-hit runs in O(1).
+    r.throughput_elems((designs.len() * REFS) as u64);
+    r.bench("sweep-lockstep/8-designs-100k", || {
         let reports = fan_out(&app, &designs, REFS, BENCH_SEED);
+        black_box(reports.iter().map(|rep| rep.cycles).sum::<u64>())
+    });
+    // Lane grouping ablation: width 1 rebuilds (and re-pays) the shared
+    // front end for every design, isolating what the design-major lane
+    // layout itself buys.
+    r.throughput_elems((designs.len() * REFS) as u64);
+    r.bench("lockstep/lane-group-width", || {
+        let reports = LockStep::new(&app, BENCH_SEED)
+            .with_lane_group(1)
+            .run(&designs, REFS);
         black_box(reports.iter().map(|rep| rep.cycles).sum::<u64>())
     });
 }

@@ -225,6 +225,8 @@ mod tests {
             "trace-generation/browser-100k-refs",
             "sweep-fanout/8-designs-100k-sequential",
             "sweep-fanout/8-designs-100k",
+            "sweep-lockstep/8-designs-100k",
+            "lockstep/lane-group-width",
             "chunk-arena/hit-rate",
         ] {
             assert!(
@@ -254,6 +256,29 @@ mod tests {
         assert!(
             speedup >= 2.0,
             "recorded fan-out speedup {speedup:.2}x is below the 2x criterion"
+        );
+    }
+
+    #[test]
+    fn shipped_baseline_records_lockstep_speedup() {
+        // The lock-step acceptance criterion, pinned against the
+        // committed numbers: the event-replay kernel must be recorded at
+        // >= 1.5x the throughput of the per-reference chunk-broadcast
+        // engine it replaced (min_ns, same 8-design 100k-ref sweep).
+        let doc = include_str!("../../../BENCH_micro.json");
+        let records = baseline_records(doc);
+        let min_of = |name: &str| {
+            records
+                .iter()
+                .find(|r| r.bench == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .min_ns as f64
+        };
+        let speedup =
+            min_of("sweep-fanout/8-designs-100k") / min_of("sweep-lockstep/8-designs-100k");
+        assert!(
+            speedup >= 1.5,
+            "recorded lock-step speedup {speedup:.2}x is below the 1.5x criterion"
         );
     }
 }

@@ -15,8 +15,15 @@ pub struct UtilityMonitor {
     sets: u64,
     ways: u32,
     sample_period: u64,
-    /// Per sampled set: LRU stack of tags, most-recent first.
-    stacks: Vec<Vec<u64>>,
+    /// Flattened LRU stacks: `ways` tag slots per sampled set, laid out
+    /// contiguously (stack `s` occupies `s*ways..(s+1)*ways`),
+    /// most-recent first. Only the first `lens[s]` slots of a stack are
+    /// live; rotations are `copy_within` on the flat buffer, so an
+    /// observe touches one cache line instead of chasing a `Vec<Vec<_>>`
+    /// double indirection.
+    tags: Vec<u64>,
+    /// Live depth of each sampled set's stack.
+    lens: Vec<u32>,
     /// `position_hits[p]`: hits found at LRU stack depth `p`.
     position_hits: Vec<u64>,
     misses: u64,
@@ -42,7 +49,8 @@ impl UtilityMonitor {
             sets: geom.sets(),
             ways: geom.ways(),
             sample_period: period,
-            stacks: vec![Vec::with_capacity(geom.ways() as usize); sampled],
+            tags: vec![0; sampled * geom.ways() as usize],
+            lens: vec![0; sampled],
             position_hits: vec![0; geom.ways() as usize],
             misses: 0,
             accesses: 0,
@@ -51,7 +59,7 @@ impl UtilityMonitor {
 
     /// Number of monitored (sampled) sets.
     pub fn sampled_sets(&self) -> usize {
-        self.stacks.len()
+        self.lens.len()
     }
 
     /// Total observations that fell on sampled sets.
@@ -70,19 +78,29 @@ impl UtilityMonitor {
         if !set.is_multiple_of(self.sample_period) {
             return;
         }
-        let stack = &mut self.stacks[(set / self.sample_period) as usize];
+        let s = (set / self.sample_period) as usize;
         let tag = line >> self.sets.trailing_zeros();
         self.accesses += 1;
+        let ways = self.ways as usize;
+        let base = s * ways;
+        let len = self.lens[s] as usize;
+        let stack = &mut self.tags[base..base + len];
         match stack.iter().position(|&t| t == tag) {
             Some(pos) => {
                 self.position_hits[pos] += 1;
-                let t = stack.remove(pos);
-                stack.insert(0, t);
+                stack.copy_within(..pos, 1);
+                stack[0] = tag;
             }
             None => {
                 self.misses += 1;
-                stack.insert(0, tag);
-                stack.truncate(self.ways as usize);
+                // Growing by one (up to the associativity) and shifting
+                // everything down is the old insert-then-truncate: a
+                // full stack simply drops its LRU tail.
+                let len = (len + 1).min(ways);
+                self.lens[s] = len as u32;
+                let stack = &mut self.tags[base..base + len];
+                stack.copy_within(..len - 1, 1);
+                stack[0] = tag;
             }
         }
     }
@@ -106,9 +124,7 @@ impl UtilityMonitor {
 
     /// Clears all counters and stacks (start of a new epoch).
     pub fn reset(&mut self) {
-        for s in &mut self.stacks {
-            s.clear();
-        }
+        self.lens.iter_mut().for_each(|l| *l = 0);
         self.position_hits.iter_mut().for_each(|h| *h = 0);
         self.misses = 0;
         self.accesses = 0;

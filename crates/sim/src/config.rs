@@ -1,6 +1,6 @@
 //! Full-system configuration (T1 of the reproduced evaluation).
 
-use moca_cache::{CacheGeometry, GeometryError};
+use moca_cache::{CacheGeometry, GeometryError, ReplacementPolicy};
 use moca_energy::Energy;
 
 use crate::dram::DramModel;
@@ -36,6 +36,10 @@ pub struct SystemConfig {
     /// Enable the L2 next-line prefetcher
     /// (see [`moca_core::L2BaseParams::next_line_prefetch`]).
     pub l2_next_line_prefetch: bool,
+    /// Replacement policy of every L2 segment
+    /// (see [`moca_core::L2BaseParams::policy`]). The L1 pair always uses
+    /// LRU, matching the paper's platform.
+    pub l2_policy: ReplacementPolicy,
 }
 
 impl Default for SystemConfig {
@@ -54,6 +58,7 @@ impl Default for SystemConfig {
             dram_write_energy: Energy::from_nj(22.0),
             dram_model: DramModel::Flat,
             l2_next_line_prefetch: false,
+            l2_policy: ReplacementPolicy::Lru,
         }
     }
 }

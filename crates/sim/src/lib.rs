@@ -6,9 +6,10 @@
 //! table of the reproduced evaluation (see `DESIGN.md` for the experiment
 //! index and `EXPERIMENTS.md` for results), plus sweep/CSV utilities, a
 //! deterministic multi-threaded sweep engine ([`parallel`]), a
-//! shared-trace fan-out runner with a memoized chunk arena ([`fanout`]),
-//! a zero-dependency observability layer ([`telemetry`]), and the
-//! `repro` / `tracegen` binaries.
+//! shared-trace fan-out runner with a memoized chunk arena ([`fanout`])
+//! whose entry points execute on the lock-step multi-design kernel
+//! ([`lockstep`]), a zero-dependency observability layer
+//! ([`telemetry`]), and the `repro` / `tracegen` binaries.
 //!
 //! ```
 //! use moca_core::L2Design;
@@ -32,6 +33,7 @@ pub mod dram;
 pub mod error;
 pub mod experiments;
 pub mod fanout;
+pub mod lockstep;
 pub mod metrics;
 pub mod parallel;
 pub mod sweep;
@@ -46,6 +48,7 @@ pub use cpu::InOrderCore;
 pub use dram::{DramModel, RowBufferDram, RowBufferParams};
 pub use error::{PointCause, SweepPointError};
 pub use fanout::{fan_out, fan_out_parallel, ArenaStats, ChunkArena, FanOut, TraceStream};
+pub use lockstep::{FilteredChunk, FrontEnd, LaneEvent, LockStep, LANE_GROUP};
 pub use metrics::{geometric_mean, mean, SimReport};
 pub use parallel::{catch_panic, parallel_map, parallel_map_isolated, parallel_map_ref, Jobs};
 pub use sweep::{

@@ -1,7 +1,7 @@
 //! The full system: core + L1 pair + L2 design + DRAM.
 
 use moca_cache::stats::CacheStats;
-use moca_cache::{GeometryError, L1Pair};
+use moca_cache::{GeometryError, L1Pair, L2Request};
 use moca_core::{DesignError, L2BaseParams, L2Design, MobileL2};
 use moca_energy::Energy;
 use moca_trace::{MemoryAccess, Mode, TraceGenerator};
@@ -99,6 +99,7 @@ impl System {
             line_bytes: cfg.line_bytes,
             clock_ghz: cfg.clock_ghz,
             next_line_prefetch: cfg.l2_next_line_prefetch,
+            policy: cfg.l2_policy,
             ..L2BaseParams::default()
         };
         let l2 = MobileL2::new(design, params)?;
@@ -172,6 +173,70 @@ impl System {
     /// expiring/refreshing) during the gap.
     pub fn idle(&mut self, cycles: u64) {
         self.core.idle(cycles);
+    }
+
+    /// Retires `n` references known to be pure L1 hits (no L2 traffic),
+    /// in O(1) via [`InOrderCore::retire_many`].
+    ///
+    /// Exactly equivalent to `n` [`System::step`] calls whose accesses
+    /// all hit the L1: a hit touches neither the L2 nor the DRAM, and
+    /// its zero-stall retire is what `retire_many` batches. The lock-step
+    /// engine uses this for the gaps between L2-visible events; the L1
+    /// state itself lives in the shared front end (see
+    /// [`System::adopt_l1`]).
+    pub(crate) fn retire_hits(&mut self, n: u64) {
+        self.core.retire_many(n);
+    }
+
+    /// Processes one reference whose L1 outcome was already computed by a
+    /// shared front end.
+    ///
+    /// This is [`System::step`] with the `l1.filter` call hoisted out:
+    /// the demand/writeback pair is exactly what `filter` returned for
+    /// this access, and the L1 decision is time-independent (replacement
+    /// state never reads the timestamp), so issuing the requests at this
+    /// lane's *own* `now` reproduces the scalar run bit for bit.
+    pub(crate) fn step_filtered(
+        &mut self,
+        demand: Option<&L2Request>,
+        writeback: Option<&L2Request>,
+    ) {
+        let now = self.core.cycle();
+        let mut stall = 0u64;
+        if let Some(demand) = demand {
+            let resp = if self.behavior_probe {
+                self.l2.request_with_behavior(demand, now)
+            } else {
+                self.l2.request(demand, now)
+            };
+            let dram_cycles = if !resp.dram_read {
+                0
+            } else {
+                match self.dram.as_mut() {
+                    None => self.cfg.dram_latency_cycles,
+                    Some(dram) => dram.access(demand.line, self.cfg.line_bytes).1,
+                }
+            };
+            stall = resp.latency_cycles + dram_cycles;
+        }
+        if let Some(wb) = writeback {
+            if self.behavior_probe {
+                self.l2.request_with_behavior(wb, now);
+            } else {
+                self.l2.request(wb, now);
+            }
+        }
+        self.core.retire(stall);
+    }
+
+    /// Adopts the shared front end's L1 state so [`System::finish`] reports
+    /// the same L1 statistics a scalar run would.
+    ///
+    /// The counts are identical by construction (the front end filtered
+    /// exactly this system's reference stream); only the cold-metadata
+    /// timestamps differ, and those never reach a [`SimReport`].
+    pub(crate) fn adopt_l1(&mut self, l1: &L1Pair) {
+        self.l1 = l1.clone();
     }
 
     /// Runs an entire trace (or any iterator of references).

@@ -130,6 +130,34 @@ fn stream_is_deterministic_across_job_counts_and_covers_every_point() {
     for (key, count) in &seen {
         assert_eq!(*count, 1, "sweep point emitted {count} times: {key:?}");
     }
+
+    // The lock-step engine replays filtered events instead of stepping
+    // per reference, but it must keep feeding the same counters the
+    // scalar batch loop did: both totals present, nonzero, and every
+    // batch accounts for at least one and at most ~8192 references
+    // (the scalar loop's batch size; lock-step lanes bump per 1024-ref
+    // chunk, well inside the bound). Cross-job equality of the totals
+    // is already covered by the byte-equality above — counter events
+    // survive canonicalization.
+    let mut counters = BTreeMap::<String, u64>::new();
+    for line in reference.lines() {
+        let fields = parse_line(line).expect("canonical line parses");
+        if str_field(&fields, "kind") == "counter" {
+            counters.insert(
+                str_field(&fields, "name").to_string(),
+                num_field(&fields, "value"),
+            );
+        }
+    }
+    let batches = counters.get("sim_batches").copied().unwrap_or(0);
+    let refs = counters.get("sim_refs").copied().unwrap_or(0);
+    assert!(batches > 0, "sim_batches counter missing: {counters:?}");
+    assert!(refs > 0, "sim_refs counter missing: {counters:?}");
+    assert!(
+        batches <= refs && refs <= batches * 8192,
+        "counter totals violate the batch accounting invariant: \
+         sim_batches={batches} sim_refs={refs}"
+    );
     assert!(
         !groups.is_empty(),
         "the chosen experiments must include a multi-point sweep"

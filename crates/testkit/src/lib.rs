@@ -12,7 +12,10 @@
 //!   with the `MOCA_TESTKIT_CASES` environment variable;
 //! * on failure the harness optionally *shrinks* the input through a
 //!   caller-provided candidate function and reports the smallest input
-//!   that still fails.
+//!   that still fails;
+//! * redundant implementations of the same computation can be
+//!   cross-checked byte-for-byte through the [`differential`] harness
+//!   (used by the sweep engines' scalar ≡ broadcast ≡ lock-step suites).
 //!
 //! ```
 //! use moca_testkit::{check, Config, require};
@@ -24,6 +27,10 @@
 //! ```
 
 use std::fmt::Debug;
+
+pub mod differential;
+
+pub use differential::{assert_engines_agree, diff_runs, engines_agree, EngineRun};
 
 /// A xorshift64* pseudo-random generator for test-case synthesis.
 ///

@@ -22,6 +22,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== fault-tolerance suite (panic isolation, checkpoint, i/o errors) =="
 cargo test -q --offline -p moca-sim --test fault_tolerance
 
+echo "== cross-engine differential suite (scalar vs broadcast vs lock-step) =="
+cargo test -q --offline -p moca-sim --test lockstep_differential
+cargo test -q --offline -p moca-sim --test lockstep_props
+
 echo "== kill/resume smoke (repro --checkpoint, SIGKILL, --resume) =="
 REPRO=target/release/repro
 SMOKE_IDS=(F3 F5 A2)
@@ -76,10 +80,11 @@ echo "== bench regression guard (micro vs BENCH_micro.json) =="
 # is not.
 mkdir -p target
 cargo bench -p moca-bench --offline --bench micro | tee target/bench_micro_current.txt
-# The fan-out and arena benches must be present in the run (bench_guard
+# The sweep-engine and arena benches must be present in the run (bench_guard
 # fails on baseline benches missing from the current run, but only if
 # they are in the baseline — keep this check in sync with BENCH_micro.json).
-for bench in "sweep-fanout/8-designs-100k" "chunk-arena/hit-rate"; do
+for bench in "sweep-fanout/8-designs-100k" "sweep-lockstep/8-designs-100k" \
+             "lockstep/lane-group-width" "chunk-arena/hit-rate"; do
   grep -q "\"bench\":\"$bench\"" target/bench_micro_current.txt \
     || { echo "missing micro bench: $bench"; exit 1; }
 done
