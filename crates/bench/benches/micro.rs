@@ -9,9 +9,12 @@ use moca_core::{L2Design, RefreshPolicy};
 use moca_energy::RetentionClass;
 use moca_sim::fanout::{fan_out, ChunkArena, FanOut, TraceStream};
 use moca_sim::lockstep::LockStep;
-use moca_sim::run_app;
-use moca_trace::{AppProfile, Mode, TraceGenerator};
+use moca_sim::{run_app, FileTraceSource};
+use moca_trace::binfmt::{self, TraceReader, CHUNK_REFS};
+use moca_trace::{AppProfile, MemoryAccess, Mode, TraceGenerator};
 use std::hint::black_box;
+use std::io::Cursor;
+use std::sync::Arc;
 
 fn trace_generation(r: &mut Runner) {
     r.throughput_elems(100_000);
@@ -163,6 +166,68 @@ fn sweep_fanout(r: &mut Runner) {
     });
 }
 
+/// Compile-once replay: decoding a compiled container must beat
+/// regenerating the same stream by a wide margin — that gap is the
+/// entire point of the on-disk format (`trace-decode` vs `trace-gen` is
+/// the ratio `bench_guard` pins).
+fn trace_replay(r: &mut Runner) {
+    let app = AppProfile::browser();
+    const SEED: u64 = 1;
+    // 100k refs round up to 13 full chunks; generation and decode both
+    // process exactly this many references so the ratio is honest.
+    const CHUNKS: usize = 100_000usize.div_ceil(CHUNK_REFS);
+    let refs = (CHUNKS * CHUNK_REFS) as u64;
+
+    r.throughput_elems(refs);
+    r.bench("trace-gen/100k-refs", || {
+        let mut gen = TraceGenerator::new(&app, SEED);
+        let mut chunk: Vec<MemoryAccess> = Vec::with_capacity(CHUNK_REFS);
+        let mut sum = 0u64;
+        for _ in 0..CHUNKS {
+            gen.fill(&mut chunk);
+            sum += chunk.iter().map(|a| a.addr).sum::<u64>();
+        }
+        black_box(sum)
+    });
+
+    // Compile once, decode per iteration from memory: the steady-state
+    // cost of serving a sweep from a warm corpus file.
+    let bytes = {
+        let mut w = Cursor::new(Vec::new());
+        binfmt::compile(&mut w, &app, SEED, CHUNKS * CHUNK_REFS).expect("in-memory compile");
+        w.into_inner()
+    };
+    r.throughput_elems(refs);
+    r.bench("trace-decode/100k-refs", || {
+        let mut reader = TraceReader::new(Cursor::new(&bytes[..])).expect("parse");
+        let mut chunk: Vec<MemoryAccess> = Vec::with_capacity(CHUNK_REFS);
+        let mut sum = 0u64;
+        for i in 0..reader.header().chunk_count() {
+            reader.read_chunk(i, &mut chunk).expect("decode");
+            sum += chunk.iter().map(|a| a.addr).sum::<u64>();
+        }
+        black_box(sum)
+    });
+
+    // The full file-backed sweep path: TraceStream over a registered
+    // source, zero-capacity arena so every chunk really hits the disk
+    // (buffered) decode path.
+    let path = std::env::temp_dir().join(format!("moca-bench-replay-{}.mtrc", std::process::id()));
+    std::fs::write(&path, &bytes).expect("write bench trace");
+    let source = Arc::new(FileTraceSource::open(&path).expect("open bench trace"));
+    r.throughput_elems(refs);
+    r.bench("trace-file/replay-100k", || {
+        let cold = ChunkArena::with_capacity(0);
+        let mut stream = TraceStream::with_source(&app, SEED, &cold, Arc::clone(&source));
+        let mut sum = 0u64;
+        for _ in 0..CHUNKS {
+            sum += stream.next_chunk().iter().map(|a| a.addr).sum::<u64>();
+        }
+        black_box(sum)
+    });
+    std::fs::remove_file(&path).ok();
+}
+
 fn chunk_arena(r: &mut Runner) {
     let app = AppProfile::browser();
     let arena = ChunkArena::with_capacity(32);
@@ -192,6 +257,7 @@ fn main() {
     l1_filter(&mut r);
     utility_monitor(&mut r);
     sweep_fanout(&mut r);
+    trace_replay(&mut r);
     chunk_arena(&mut r);
     r.finish();
 }

@@ -96,6 +96,9 @@ struct Report {
     replays: u64,
     /// Last `arena` snapshot seen: (cached, capacity, hits, misses, rejected).
     arena: Option<(u64, u64, u64, u64, u64)>,
+    /// Last `trace_io` snapshot seen:
+    /// (files, chunks_decoded, bytes_read, decode_ns, checksum_verifies, decode_errors).
+    trace_io: Option<(u64, u64, u64, u64, u64, u64)>,
 }
 
 impl Report {
@@ -139,6 +142,16 @@ impl Report {
                     num_field(&fields, "hits")?,
                     num_field(&fields, "misses")?,
                     num_field(&fields, "rejected")?,
+                ));
+            }
+            "trace_io" => {
+                self.trace_io = Some((
+                    num_field(&fields, "files")?,
+                    num_field(&fields, "chunks_decoded")?,
+                    num_field(&fields, "bytes_read")?,
+                    num_field(&fields, "decode_ns")?,
+                    num_field(&fields, "checksum_verifies")?,
+                    num_field(&fields, "decode_errors")?,
                 ));
             }
             "counter" => {
@@ -215,6 +228,13 @@ impl Report {
                 "trace arena: {cached}/{cap} chunk(s) cached, {hits} hit(s) / {misses} miss(es), {rejected} rejected\n"
             ));
         }
+        if let Some((files, chunks, bytes, ns, verifies, errors)) = self.trace_io {
+            out.push_str(&format!(
+                "trace replay: {files} file(s), {chunks} chunk(s) decoded ({bytes} bytes, {} ms), \
+                 {verifies} checksum(s) verified, {errors} decode error(s)\n",
+                ms(ns)
+            ));
+        }
 
         if !self.counters.is_empty() {
             let mut counters = Table::new(vec!["counter", "total"]);
@@ -272,6 +292,7 @@ mod tests {
             r#"{"v":1,"kind":"checkpoint","scope":"F3","event":"append","key":"k"}"#,
             r#"{"v":1,"kind":"checkpoint","scope":"F3","event":"replay","key":"k"}"#,
             r#"{"v":1,"kind":"arena","cached_chunks":3,"capacity_chunks":512,"hits":9,"misses":3,"rejected":0}"#,
+            r#"{"v":1,"kind":"trace_io","files":4,"chunks_decoded":148,"bytes_read":900000,"decode_ns":123456,"checksum_verifies":148,"decode_errors":0}"#,
             r#"{"v":1,"kind":"counter","name":"sim_batches","value":4}"#,
         ];
         for line in lines {
@@ -284,11 +305,13 @@ mod tests {
         assert_eq!((pool.workers, pool.items, pool.busy_ns), (1, 2, 30));
         assert_eq!((r.appends, r.replays), (1, 1));
         assert_eq!(r.arena, Some((3, 512, 9, 3, 0)));
+        assert_eq!(r.trace_io, Some((4, 148, 900000, 123456, 148, 0)));
         assert_eq!(r.counters["sim_batches"], 4);
         let rendered = r.render();
         assert!(rendered.contains("per-scope profile"));
         assert!(rendered.contains("worker pools"));
         assert!(rendered.contains("sim_batches"));
+        assert!(rendered.contains("trace replay: 4 file(s), 148 chunk(s) decoded"));
     }
 
     #[test]

@@ -227,6 +227,9 @@ mod tests {
             "sweep-fanout/8-designs-100k",
             "sweep-lockstep/8-designs-100k",
             "lockstep/lane-group-width",
+            "trace-gen/100k-refs",
+            "trace-decode/100k-refs",
+            "trace-file/replay-100k",
             "chunk-arena/hit-rate",
         ] {
             assert!(
@@ -279,6 +282,28 @@ mod tests {
         assert!(
             speedup >= 1.5,
             "recorded lock-step speedup {speedup:.2}x is below the 1.5x criterion"
+        );
+    }
+
+    #[test]
+    fn shipped_baseline_records_trace_decode_speedup() {
+        // The replay-container acceptance criterion, pinned against the
+        // committed numbers: decoding a compiled trace must be recorded
+        // at >= 5x the throughput of regenerating the same stream
+        // (min_ns, identical reference counts on both sides).
+        let doc = include_str!("../../../BENCH_micro.json");
+        let records = baseline_records(doc);
+        let min_of = |name: &str| {
+            records
+                .iter()
+                .find(|r| r.bench == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .min_ns as f64
+        };
+        let speedup = min_of("trace-gen/100k-refs") / min_of("trace-decode/100k-refs");
+        assert!(
+            speedup >= 5.0,
+            "recorded trace-decode speedup {speedup:.2}x is below the 5x criterion"
         );
     }
 }

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! repro [--quick] [--jobs N] [--checkpoint DIR | --resume DIR]
-//!       [--telemetry PATH] [--progress]
+//!       [--trace PATH] [--telemetry PATH] [--progress]
 //!       [F1|F2|F3|F4|F5|T2|F6|F7|F8|A1..A7 ...]
 //! ```
 //!
@@ -30,6 +30,15 @@
 //!   a full disk or closed pipe produces a real error message and a
 //!   non-zero exit instead of a panic.
 //!
+//! # Trace replay
+//!
+//! * `--trace PATH` registers a compiled trace corpus (one `.mtrc` file
+//!   or a directory of them, see `tracegen --emit` / `trace_corpus`)
+//!   with the global [`moca_sim::replay::TraceRegistry`]. Sweeps whose
+//!   (app, seed) identity matches a registered file decode their
+//!   reference stream from disk instead of regenerating it; the report
+//!   stays byte-identical either way.
+//!
 //! # Observability
 //!
 //! * `--telemetry PATH` installs the global [`telemetry`] recorder and
@@ -51,7 +60,7 @@ use moca_sim::experiments::{self, matrix, ExperimentResult};
 use moca_sim::parallel::{catch_panic, Jobs};
 use moca_sim::telemetry::{self, Event};
 use moca_sim::workloads::Scale;
-use moca_sim::{ChunkArena, SystemConfig};
+use moca_sim::{ChunkArena, FileTraceSource, SystemConfig, TraceRegistry};
 
 /// Suite order of the experiment ids (the order of `experiments::all`).
 const SUITE_IDS: [&str; 16] = [
@@ -60,11 +69,12 @@ const SUITE_IDS: [&str; 16] = [
 ];
 
 const USAGE: &str = "usage: repro [--quick] [--jobs N] [--checkpoint DIR | --resume DIR]
-             [--telemetry PATH] [--progress] [IDS...]
+             [--trace PATH] [--telemetry PATH] [--progress] [IDS...]
   --quick           CI scale (short traces) instead of full scale
   --jobs N          worker threads per experiment (default: all cores)
   --checkpoint DIR  journal finished experiments to DIR (created if needed)
   --resume DIR      replay finished experiments from DIR, run the rest
+  --trace PATH      replay from a compiled trace corpus (.mtrc file or dir)
   --telemetry PATH  write the JSONL telemetry event stream to PATH
   --progress        print per-experiment heartbeat lines to stderr
   IDS               experiment ids (F1..F8, T2, A1..A7); default: all";
@@ -76,6 +86,8 @@ struct Options {
     /// Journal directory; `resume` controls whether it must pre-exist.
     checkpoint: Option<PathBuf>,
     resume: bool,
+    /// Compiled trace corpus (`.mtrc` file or directory of them).
+    trace: Option<PathBuf>,
     /// JSONL telemetry sink; `None` leaves the recorder uninstalled.
     telemetry: Option<PathBuf>,
     progress: bool,
@@ -90,6 +102,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         jobs: Jobs::available(),
         checkpoint: None,
         resume: false,
+        trace: None,
         telemetry: None,
         progress: false,
         ids: Vec::new(),
@@ -126,6 +139,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--resume" => {
                 opts.checkpoint = Some(PathBuf::from(take_value("--resume")?));
                 opts.resume = true;
+            }
+            "--trace" => {
+                opts.trace = Some(PathBuf::from(take_value("--trace")?));
             }
             "--telemetry" => {
                 opts.telemetry = Some(PathBuf::from(take_value("--telemetry")?));
@@ -204,6 +220,38 @@ fn run_experiment(
     })
 }
 
+/// Registers a compiled trace corpus (one `.mtrc` file or a directory of
+/// them, sorted by file name for deterministic registration order) with
+/// the global [`TraceRegistry`]. Returns the number of files registered.
+fn load_corpus(path: &std::path::Path) -> Result<usize, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if path.is_dir() {
+        let entries = std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read trace corpus dir {}: {e}", path.display()))?;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| format!("cannot read trace corpus dir {}: {e}", path.display()))?;
+            let p = entry.path();
+            if p.is_file() {
+                files.push(p);
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("trace corpus dir {} contains no files", path.display()));
+        }
+    } else {
+        files.push(path.to_path_buf());
+    }
+    let registry = TraceRegistry::global();
+    for file in &files {
+        let source = FileTraceSource::open(file)
+            .map_err(|e| format!("cannot load trace {}: {e}", file.display()))?;
+        registry.register(source);
+    }
+    Ok(files.len())
+}
+
 fn run(opts: &Options) -> io::Result<ExitCode> {
     let stdout = io::stdout();
     let mut out = stdout.lock();
@@ -211,6 +259,17 @@ fn run(opts: &Options) -> io::Result<ExitCode> {
     let mut journal = match &opts.checkpoint {
         Some(dir) if opts.resume => Some(Journal::resume(dir)?),
         Some(dir) => Some(Journal::open(dir)?),
+        None => None,
+    };
+
+    let corpus_files = match &opts.trace {
+        Some(path) => match load_corpus(path) {
+            Ok(n) => Some(n),
+            Err(e) => {
+                eprintln!("repro: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        },
         None => None,
     };
 
@@ -323,6 +382,19 @@ fn run(opts: &Options) -> io::Result<ExitCode> {
             j.len()
         )?;
     }
+    if let Some(files) = corpus_files {
+        let io = TraceRegistry::global().stats();
+        writeln!(
+            out,
+            "trace corpus: {} file(s), {} chunk(s) decoded ({} KiB read), \
+             {} checksum(s) verified, {} decode error(s)",
+            files,
+            io.chunks_decoded,
+            io.bytes_read / 1024,
+            io.checksum_verifies,
+            io.decode_errors
+        )?;
+    }
     out.flush()?;
 
     if let Some(path) = &opts.telemetry {
@@ -335,6 +407,9 @@ fn run(opts: &Options) -> io::Result<ExitCode> {
             misses: stats.misses,
             rejected: stats.rejected,
         });
+        if corpus_files.is_some() {
+            telemetry::record(TraceRegistry::global().stats().to_event());
+        }
         let rec = telemetry::global().expect("recorder installed above");
         let file = std::fs::File::create(path)?;
         let events = rec.write_jsonl(io::BufWriter::new(file))?;

@@ -3,21 +3,26 @@
 //! Writes the deterministic memory-reference stream of one suite app (or
 //! a mixed session) in the binary or text format of
 //! [`moca_trace::io`], so traces can be archived, diffed, or fed to other
-//! tools.
+//! tools — or, with `--emit`, compiles it into the chunked, checksummed
+//! replay container of [`moca_trace::binfmt`] that `repro --trace` and
+//! the sweep engine replay at near-arena speed.
 //!
 //! ```text
-//! tracegen <app|mixed> <refs> <out-file> [--text] [--seed N]
+//! tracegen <app|mixed> <refs> <out-file> [--text | --emit] [--seed N]
 //! ```
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
 
+use moca_trace::binfmt;
 use moca_trace::io::{write_binary, write_text};
 use moca_trace::{AppProfile, MemoryAccess, PhasedWorkload, TraceGenerator};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: tracegen <app|mixed> <refs> <out-file> [--text] [--seed N]");
+    eprintln!("usage: tracegen <app|mixed> <refs> <out-file> [--text | --emit] [--seed N]");
+    eprintln!("  --text  line-oriented text format instead of the binary stream");
+    eprintln!("  --emit  chunked replay container (apps only; refs round up to full chunks)");
     eprintln!("apps: {}", AppProfile::suite().iter().map(|p| p.name).collect::<Vec<_>>().join(", "));
     ExitCode::FAILURE
 }
@@ -34,7 +39,7 @@ fn main() -> ExitCode {
         if a == "--seed" {
             skip_next = true; // the seed value is consumed below
         } else if a.starts_with("--") {
-            if a != "--text" {
+            if a != "--text" && a != "--emit" {
                 eprintln!("unknown flag: {a}");
                 return usage();
             }
@@ -46,6 +51,11 @@ fn main() -> ExitCode {
         return usage();
     }
     let text = args.iter().any(|a| a == "--text");
+    let emit = args.iter().any(|a| a == "--emit");
+    if text && emit {
+        eprintln!("--text and --emit are mutually exclusive");
+        return usage();
+    }
     let seed = args
         .iter()
         .position(|a| a == "--seed")
@@ -58,6 +68,43 @@ fn main() -> ExitCode {
         return usage();
     };
     let path = positional[2];
+
+    if emit {
+        // The replay container records one (profile fingerprint, seed)
+        // identity in its header; a mixed session has no single
+        // generating profile to fingerprint, so it cannot be compiled.
+        if name == "mixed" {
+            eprintln!("--emit needs a named app: a mixed session has no single profile fingerprint");
+            return usage();
+        }
+        let Some(profile) = AppProfile::by_name(name) else {
+            eprintln!("unknown app '{name}'");
+            return usage();
+        };
+        let file = match File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // compile() flushes through TraceWriter::finish, so BufWriter's
+        // error-swallowing Drop never sees unflushed bytes.
+        return match binfmt::compile(BufWriter::new(file), &profile, seed, refs) {
+            Ok(summary) => {
+                eprintln!(
+                    "compiled {} chunk(s), {} references of '{name}' (seed {seed}) to {path} \
+                     ({} payload bytes)",
+                    summary.chunks, summary.refs, summary.payload_bytes
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("compile failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let trace: Box<dyn Iterator<Item = MemoryAccess>> = if name == "mixed" {
         let per_app = (refs / 10).max(1) as u64;

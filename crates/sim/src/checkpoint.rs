@@ -64,9 +64,25 @@ pub fn design_fingerprint(design: &L2Design) -> u64 {
 /// The journal key of one sweep point:
 /// `(app fingerprint, design fingerprint, seed, refs)`.
 pub fn point_key(app: &AppProfile, design: &L2Design, seed: u64, refs: usize) -> String {
+    point_key_with_source(app.fingerprint(), design, seed, refs)
+}
+
+/// [`point_key`] with an explicit trace-source fingerprint.
+///
+/// For in-process generation the source fingerprint *is* the app
+/// fingerprint, so the key is unchanged; a sweep replaying a registered
+/// compiled trace keys by the file's
+/// [`source fingerprint`](moca_trace::binfmt::TraceHeader::source_fingerprint)
+/// instead — the same namespacing the chunk arena applies — so
+/// file-backed points memoize and resume in their own identity space.
+pub fn point_key_with_source(
+    source_fingerprint: u64,
+    design: &L2Design,
+    seed: u64,
+    refs: usize,
+) -> String {
     format!(
-        "pt:{:016x}:{:016x}:{seed:016x}:{refs}",
-        app.fingerprint(),
+        "pt:{source_fingerprint:016x}:{:016x}:{seed:016x}:{refs}",
         design_fingerprint(design),
     )
 }
@@ -390,9 +406,16 @@ where
     F: Fn(&P) -> L2Design + Sync,
 {
     let designs: Vec<L2Design> = params.iter().map(to_design).collect();
+    // Key by the trace source actually backing the streams: the app
+    // fingerprint for generation, the file's source fingerprint when a
+    // compiled trace is registered for this (app, seed).
+    let source_fp = crate::replay::TraceRegistry::global()
+        .lookup(app.fingerprint(), seed)
+        .map(|s| s.source_fingerprint())
+        .unwrap_or_else(|| app.fingerprint());
     let keys: Vec<String> = designs
         .iter()
-        .map(|d| point_key(app, d, seed, refs))
+        .map(|d| point_key_with_source(source_fp, d, seed, refs))
         .collect();
     let missing: Vec<usize> = (0..designs.len())
         .filter(|&i| !journal.contains(&keys[i]))

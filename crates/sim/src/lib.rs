@@ -8,8 +8,10 @@
 //! deterministic multi-threaded sweep engine ([`parallel`]), a
 //! shared-trace fan-out runner with a memoized chunk arena ([`fanout`])
 //! whose entry points execute on the lock-step multi-design kernel
-//! ([`lockstep`]), a zero-dependency observability layer
-//! ([`telemetry`]), and the `repro` / `tracegen` binaries.
+//! ([`lockstep`]), a file-backed trace replay layer over compiled
+//! corpora ([`replay`]), a zero-dependency observability layer
+//! ([`telemetry`]), and the `repro` / `tracegen` / `trace_corpus`
+//! binaries.
 //!
 //! ```
 //! use moca_core::L2Design;
@@ -36,6 +38,7 @@ pub mod fanout;
 pub mod lockstep;
 pub mod metrics;
 pub mod parallel;
+pub mod replay;
 pub mod sweep;
 pub mod system;
 pub mod table;
@@ -51,6 +54,7 @@ pub use fanout::{fan_out, fan_out_parallel, ArenaStats, ChunkArena, FanOut, Trac
 pub use lockstep::{FilteredChunk, FrontEnd, LaneEvent, LockStep, LANE_GROUP};
 pub use metrics::{geometric_mean, mean, SimReport};
 pub use parallel::{catch_panic, parallel_map, parallel_map_isolated, parallel_map_ref, Jobs};
+pub use replay::{FileTraceSource, TraceIoStats, TraceRegistry};
 pub use sweep::{
     comparison_table, csv_row, sweep, sweep_isolated, sweep_parallel, sweep_parallel_isolated,
     write_csv, SweepPoint,

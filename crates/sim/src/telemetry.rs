@@ -40,6 +40,7 @@
 //! | `worker_start` | `scope pool worker jobs`                                     | scheduling     |
 //! | `worker_stop`  | `scope pool worker jobs items busy_ns`                       | scheduling     |
 //! | `arena`        | `cached_chunks capacity_chunks hits misses rejected`         | scheduling     |
+//! | `trace_io`     | `files chunks_decoded bytes_read decode_ns checksum_verifies decode_errors` | scheduling |
 //!
 //! # Determinism contract
 //!
@@ -130,6 +131,25 @@ pub enum Event {
         /// Generated chunks not cached because the arena was full.
         rejected: u64,
     },
+    /// A snapshot of [`crate::TraceRegistry`] file-replay counters.
+    ///
+    /// Scheduling-dependent like `arena`: how many chunks are decoded
+    /// from file (vs served from the warm arena) depends on which
+    /// stream reaches each chunk first across worker threads.
+    TraceIo {
+        /// Compiled trace files registered.
+        files: u64,
+        /// Chunks decoded from files.
+        chunks_decoded: u64,
+        /// Bytes read from trace files.
+        bytes_read: u64,
+        /// Wall time spent reading + decoding.
+        decode_ns: u64,
+        /// Chunk checksums verified successfully.
+        checksum_verifies: u64,
+        /// Failed chunk decodes (fell back to generation).
+        decode_errors: u64,
+    },
     /// A checkpoint-journal append or replay.
     Checkpoint {
         /// `"append"` (freshly recorded) or `"replay"` (served from the
@@ -178,6 +198,7 @@ impl Event {
             Event::WorkerStart { .. } => "worker_start",
             Event::WorkerStop { .. } => "worker_stop",
             Event::Arena { .. } => "arena",
+            Event::TraceIo { .. } => "trace_io",
             Event::Checkpoint { .. } => "checkpoint",
             Event::Counter { .. } => "counter",
         }
@@ -190,9 +211,10 @@ impl Event {
             Event::Point { .. } => 0,
             Event::Checkpoint { .. } => 1,
             Event::Arena { .. } => 2,
-            Event::WorkerStart { .. } => 3,
-            Event::WorkerStop { .. } => 4,
-            Event::Counter { .. } => 5,
+            Event::TraceIo { .. } => 3,
+            Event::WorkerStart { .. } => 4,
+            Event::WorkerStop { .. } => 5,
+            Event::Counter { .. } => 6,
         }
     }
 
@@ -258,6 +280,21 @@ impl Event {
                 push_num_field(&mut s, "misses", *misses);
                 push_num_field(&mut s, "rejected", *rejected);
             }
+            Event::TraceIo {
+                files,
+                chunks_decoded,
+                bytes_read,
+                decode_ns,
+                checksum_verifies,
+                decode_errors,
+            } => {
+                push_num_field(&mut s, "files", *files);
+                push_num_field(&mut s, "chunks_decoded", *chunks_decoded);
+                push_num_field(&mut s, "bytes_read", *bytes_read);
+                push_num_field(&mut s, "decode_ns", ns(*decode_ns));
+                push_num_field(&mut s, "checksum_verifies", *checksum_verifies);
+                push_num_field(&mut s, "decode_errors", *decode_errors);
+            }
             Event::Checkpoint { event, key } => {
                 push_str_field(&mut s, "scope", scope);
                 push_str_field(&mut s, "event", event);
@@ -304,10 +341,10 @@ fn json_escape_into(s: &mut String, value: &str) {
 
 /// `true` for event kinds whose presence or payload legitimately
 /// depends on thread scheduling (`worker_start`, `worker_stop`,
-/// `arena`) — the determinism suite filters these before comparing
-/// streams across job counts.
+/// `arena`, `trace_io`) — the determinism suite filters these before
+/// comparing streams across job counts.
 pub fn is_scheduling_kind(kind: &str) -> bool {
-    matches!(kind, "worker_start" | "worker_stop" | "arena")
+    matches!(kind, "worker_start" | "worker_stop" | "arena" | "trace_io")
 }
 
 /// A telemetry sink.
@@ -904,12 +941,37 @@ mod tests {
 
     #[test]
     fn scheduling_kind_classification_matches_schema() {
-        for kind in ["worker_start", "worker_stop", "arena"] {
+        for kind in ["worker_start", "worker_stop", "arena", "trace_io"] {
             assert!(is_scheduling_kind(kind));
         }
         for kind in ["point", "checkpoint", "counter"] {
             assert!(!is_scheduling_kind(kind));
         }
+    }
+
+    #[test]
+    fn trace_io_renders_parses_and_masks_decode_ns() {
+        let rec = JsonlRecorder::new();
+        rec.record(Event::TraceIo {
+            files: 4,
+            chunks_decoded: 37,
+            bytes_read: 123_456,
+            decode_ns: 7_890,
+            checksum_verifies: 37,
+            decode_errors: 1,
+        });
+        let line = drained(&rec).remove(0);
+        let fields = parse_line(&line).expect("trace_io line parses");
+        assert_eq!(
+            fields[1],
+            ("kind".to_string(), JsonValue::Str("trace_io".to_string()))
+        );
+        assert!(line.contains("\"files\":4"));
+        assert!(line.contains("\"chunks_decoded\":37"));
+        assert!(line.contains("\"decode_ns\":7890"));
+        let masked = mask_timing(&line).expect("mask");
+        assert!(masked.contains("\"decode_ns\":0"));
+        assert!(masked.contains("\"bytes_read\":123456"), "{masked}");
     }
 
     #[test]

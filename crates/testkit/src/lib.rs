@@ -458,6 +458,64 @@ impl std::io::Write for ShortWriter {
     }
 }
 
+/// A *seekable* sink that runs out of space after `limit` bytes —
+/// [`ShortWriter`]'s sibling for writers that back-patch (headers,
+/// trailing directories) and therefore need `Write + Seek`.
+///
+/// Seeks always succeed; any write that would push the end of the
+/// buffer past `limit` is truncated at the limit (then `Ok(0)`, which
+/// `write_all` turns into `WriteZero`). Deterministic: the failure
+/// point depends only on `limit` and the byte stream.
+///
+/// # Examples
+///
+/// ```
+/// use std::io::Write;
+///
+/// let mut w = moca_testkit::ShortSeekWriter::new(4);
+/// let err = w.write_all(b"too long for four bytes").unwrap_err();
+/// assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+/// assert_eq!(w.written(), b"too ");
+/// ```
+#[derive(Debug, Default)]
+pub struct ShortSeekWriter {
+    limit: u64,
+    cursor: std::io::Cursor<Vec<u8>>,
+}
+
+impl ShortSeekWriter {
+    /// A seekable writer with capacity for exactly `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        Self {
+            limit: limit as u64,
+            cursor: std::io::Cursor::new(Vec::new()),
+        }
+    }
+
+    /// The bytes accepted before the writer ran out of space.
+    pub fn written(&self) -> &[u8] {
+        self.cursor.get_ref()
+    }
+}
+
+impl std::io::Write for ShortSeekWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let pos = self.cursor.position();
+        let room = self.limit.saturating_sub(pos).min(buf.len() as u64) as usize;
+        self.cursor.write(&buf[..room])
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.cursor.flush()
+    }
+}
+
+impl std::io::Seek for ShortSeekWriter {
+    fn seek(&mut self, pos: std::io::SeekFrom) -> std::io::Result<u64> {
+        self.cursor.seek(pos)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,13 @@ pub const MAGIC: [u8; 4] = *b"MOCA";
 pub const VERSION: u8 = 1;
 
 /// Errors produced when decoding a trace.
+///
+/// The first four variants belong to the legacy stream format of this
+/// module; the `File*`/`Header*`/`Chunk*` variants are produced by the
+/// chunked container in [`crate::binfmt`]. Chunk-level variants carry
+/// the index of the failing chunk so a corrupt corpus file can be
+/// reported (and repaired) precisely. All of them flow into the
+/// workspace `MocaError::Trace` through its existing `From` impl.
 #[derive(Debug)]
 pub enum ReadTraceError {
     /// Underlying I/O failure.
@@ -29,6 +36,32 @@ pub enum ReadTraceError {
     BadVersion(u8),
     /// A record field had an invalid encoding.
     Corrupt(&'static str),
+    /// A chunked trace file does not start with the `MOCATRC` magic.
+    BadFileMagic([u8; 8]),
+    /// Unsupported chunked trace file version.
+    BadFileVersion(u16),
+    /// The fixed header or chunk directory of a chunked trace file is
+    /// inconsistent (truncated, checksum mismatch, impossible counts).
+    HeaderCorrupt(&'static str),
+    /// The file ended before chunk `chunk`'s payload (directory intact,
+    /// payload truncated — e.g. a recording cut short after the fact).
+    ChunkTruncated {
+        /// Index of the chunk whose payload could not be read in full.
+        chunk: u32,
+    },
+    /// Chunk `chunk`'s payload does not match its recorded checksum.
+    ChunkChecksum {
+        /// Index of the chunk whose checksum failed.
+        chunk: u32,
+    },
+    /// Chunk `chunk`'s payload decoded to something structurally invalid
+    /// even though its checksum matched (encoder bug or crafted file).
+    ChunkCorrupt {
+        /// Index of the malformed chunk.
+        chunk: u32,
+        /// What was wrong with it.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for ReadTraceError {
@@ -38,6 +71,22 @@ impl std::fmt::Display for ReadTraceError {
             ReadTraceError::BadMagic(m) => write!(f, "bad trace magic {m:?}"),
             ReadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             ReadTraceError::Corrupt(what) => write!(f, "corrupt trace record: {what}"),
+            ReadTraceError::BadFileMagic(m) => write!(f, "bad trace file magic {m:?}"),
+            ReadTraceError::BadFileVersion(v) => {
+                write!(f, "unsupported trace file version {v}")
+            }
+            ReadTraceError::HeaderCorrupt(what) => {
+                write!(f, "corrupt trace file header: {what}")
+            }
+            ReadTraceError::ChunkTruncated { chunk } => {
+                write!(f, "trace file truncated reading chunk {chunk}")
+            }
+            ReadTraceError::ChunkChecksum { chunk } => {
+                write!(f, "checksum mismatch in trace chunk {chunk}")
+            }
+            ReadTraceError::ChunkCorrupt { chunk, what } => {
+                write!(f, "corrupt trace chunk {chunk}: {what}")
+            }
         }
     }
 }
@@ -86,15 +135,15 @@ fn read_varint<R: Read>(r: &mut R) -> Result<u64, ReadTraceError> {
 }
 
 /// ZigZag encoding maps signed deltas onto small unsigned varints.
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     (v.wrapping_shl(1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn tag(kind: AccessKind, mode: Mode) -> u8 {
+pub(crate) fn tag(kind: AccessKind, mode: Mode) -> u8 {
     (kind.index() as u8) | ((mode.index() as u8) << 2)
 }
 

@@ -34,6 +34,7 @@
 //! * [`phases`] — app-switching sessions ([`phases::PhasedWorkload`]).
 //! * [`multiprog`] — time-sliced co-scheduling ([`multiprog::MultiProgrammed`]).
 //! * [`io`] — binary and text trace serialization.
+//! * [`binfmt`] — chunked, checksummed trace container (compile/replay).
 //! * [`stats`] — [`TraceStats`] trace summaries.
 //! * [`fxhash`] — fixed-seed hashing for deterministic analysis maps.
 
@@ -42,6 +43,7 @@
 
 pub mod access;
 pub mod apps;
+pub mod binfmt;
 pub mod builder;
 pub mod chase;
 pub mod fxhash;

@@ -11,7 +11,11 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 echo "== build (release, offline) =="
-cargo build --release --offline
+# --workspace: the root manifest is a real package, so a bare `cargo
+# build` would build only the facade crate and leave the moca-sim
+# binaries (repro/tracegen/trace_corpus) that the smoke tests below
+# exercise stale or missing.
+cargo build --release --offline --workspace
 
 echo "== tests (workspace, offline) =="
 cargo test -q --offline --workspace
@@ -71,6 +75,38 @@ grep -q 'per-scope profile' "$SMOKE_DIR/telemetry_report.txt" \
   || { echo "telemetry_report produced no profile"; exit 1; }
 echo "telemetry smoke passed"
 
+echo "== trace replay smoke (tracegen --emit, trace_corpus, repro --trace) =="
+TRACEGEN=target/release/tracegen
+CORPUS_TOOL=target/release/trace_corpus
+# Compile one trace, validate it, and round-trip its identity.
+"$TRACEGEN" browser 100000 "$SMOKE_DIR/browser.mtrc" --emit --seed 7 \
+  2> "$SMOKE_DIR/tracegen_emit.txt"
+grep -q 'compiled .* chunk(s)' "$SMOKE_DIR/tracegen_emit.txt" \
+  || { echo "tracegen --emit reported no compile summary"; exit 1; }
+"$CORPUS_TOOL" validate "$SMOKE_DIR/browser.mtrc" \
+  || { echo "trace_corpus validate rejected a fresh file"; exit 1; }
+"$CORPUS_TOOL" stat "$SMOKE_DIR/browser.mtrc" > "$SMOKE_DIR/corpus_stat.txt"
+grep -q 'kernel share' "$SMOKE_DIR/corpus_stat.txt" \
+  || { echo "trace_corpus stat produced no summary"; exit 1; }
+# Record the quick-scale sweep corpus (default apps/refs/seed match the
+# F3 search sweep) and validate the whole directory.
+"$CORPUS_TOOL" record "$SMOKE_DIR/corpus" > /dev/null
+"$CORPUS_TOOL" validate "$SMOKE_DIR/corpus" > /dev/null \
+  || { echo "recorded corpus failed validation"; exit 1; }
+# The same experiment replayed from the corpus must emit the same bytes
+# up to the run-local footer, and must actually decode from the files.
+"$REPRO" --quick F3 > "$SMOKE_DIR/f3_inprocess_full.txt"
+sed -n '/^---$/q;p' "$SMOKE_DIR/f3_inprocess_full.txt" > "$SMOKE_DIR/f3_inprocess.txt"
+"$REPRO" --quick F3 --trace "$SMOKE_DIR/corpus" > "$SMOKE_DIR/f3_replay_full.txt"
+sed -n '/^---$/q;p' "$SMOKE_DIR/f3_replay_full.txt" > "$SMOKE_DIR/f3_replay.txt"
+diff -u "$SMOKE_DIR/f3_inprocess.txt" "$SMOKE_DIR/f3_replay.txt" \
+  || { echo "corpus replay diverged from in-process generation"; exit 1; }
+grep -q '^trace corpus: 4 file(s), ' "$SMOKE_DIR/f3_replay_full.txt" \
+  || { echo "missing trace-corpus footer line"; exit 1; }
+grep -q '^trace corpus: .* 0 chunk(s) decoded' "$SMOKE_DIR/f3_replay_full.txt" \
+  && { echo "corpus was registered but nothing was decoded from it"; exit 1; }
+echo "trace replay smoke passed"
+
 echo "== bench smoke (1 iteration per target, offline) =="
 cargo bench -p moca-bench --offline -- --smoke
 
@@ -84,7 +120,9 @@ cargo bench -p moca-bench --offline --bench micro | tee target/bench_micro_curre
 # fails on baseline benches missing from the current run, but only if
 # they are in the baseline — keep this check in sync with BENCH_micro.json).
 for bench in "sweep-fanout/8-designs-100k" "sweep-lockstep/8-designs-100k" \
-             "lockstep/lane-group-width" "chunk-arena/hit-rate"; do
+             "lockstep/lane-group-width" "chunk-arena/hit-rate" \
+             "trace-gen/100k-refs" "trace-decode/100k-refs" \
+             "trace-file/replay-100k"; do
   grep -q "\"bench\":\"$bench\"" target/bench_micro_current.txt \
     || { echo "missing micro bench: $bench"; exit 1; }
 done

@@ -155,4 +155,15 @@ mod tests {
             moca_trace::io::ReadTraceError::Corrupt("truncated record").into();
         assert!(trace.to_string().contains("trace error"));
     }
+
+    #[test]
+    fn replay_container_errors_keep_their_chunk_index() {
+        // The chunked-container variants flow through unchanged, so a
+        // failed corpus replay still names the failing chunk at the
+        // top-level error boundary.
+        let e: MocaError = moca_trace::io::ReadTraceError::ChunkChecksum { chunk: 3 }.into();
+        assert!(e.to_string().contains("chunk 3"), "got: {e}");
+        let e: MocaError = moca_trace::io::ReadTraceError::ChunkTruncated { chunk: 7 }.into();
+        assert!(e.to_string().contains("chunk 7"), "got: {e}");
+    }
 }
